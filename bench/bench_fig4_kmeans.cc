@@ -1,0 +1,5 @@
+// Fig 4: k-means SSE and centroid distance over Control, Vehicle and Letter
+// for six schemes at Tth = 0.9, across three attack-ratio bands.
+#include "bench_fig_kmeans_common.h"
+
+int main() { return itrim::bench::RunKmeansFigure("Fig 4", 0.9); }

@@ -1,0 +1,5 @@
+// Fig 5: the Fig 4 experiment repeated with the more conservative
+// Tth = 0.97 threshold.
+#include "bench_fig_kmeans_common.h"
+
+int main() { return itrim::bench::RunKmeansFigure("Fig 5", 0.97); }

@@ -1,0 +1,54 @@
+// Fig 6b + Fig 8: SOM classification on Creditcard-like data (20x20 map,
+// Tth = 0.95, attack ratio 0.4). The paper reads the result qualitatively:
+// Ostrich loses the green segment under poison mass, Baseline0.9 also loses
+// the isolated points, Baselinestatic over-represents poison, while
+// Titfortat/Elastic preserve the green class at the cost of an isolated
+// point. We print the class-structure metrics that encode those readings.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "exp/experiments.h"
+
+int main() {
+  using namespace itrim;
+  SomExperimentConfig config;
+  config.dataset_size =
+      static_cast<size_t>(4000 * bench::EnvScale("ITRIM_BENCH_SCALE", 1.0));
+  PrintBanner(std::cout,
+              "Fig 8: SOM structure preservation, Creditcard, Tth=0.95, "
+              "attack ratio=0.4");
+  auto result = RunSomExperiment(config);
+  if (!result.ok()) {
+    std::cerr << "ERROR: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "groundtruth: classes represented=" << result->groundtruth_classes
+            << "/4, quantization error=" << result->groundtruth_qe << "\n";
+  TablePrinter table({"scheme", "classes(4)", "green", "fraud", "premium",
+                      "quant.err", "poison kept"});
+  auto survival = [](double fraction) {
+    if (fraction >= 0.99) return std::string("kept");
+    if (fraction <= 0.01) return std::string("lost");
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.0f%%", 100.0 * fraction);
+    return std::string(buf);
+  };
+  for (const auto& s : result->schemes) {
+    table.BeginRow();
+    table.AddCell(s.scheme);
+    table.AddNumber(s.classes_represented, 1);
+    table.AddCell(survival(s.green_class_survives));
+    table.AddCell(survival(s.fraud_point_survives));
+    table.AddCell(survival(s.premium_point_survives));
+    table.AddNumber(s.quantization_error, 4);
+    table.AddNumber(s.untrimmed_poison_fraction, 4);
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading guide: 'green' is the 5-point rare segment the "
+               "paper's green class; fraud/premium are the two isolated "
+               "outliers. The paper's qualitative finding is that the "
+               "proposed schemes keep the green class visible while "
+               "baselines lose it to poison mass or over-trimming.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared driver for the Fig 4 / Fig 5 k-means benches (they differ only in
+// the nominal threshold Tth).
+#ifndef ITRIM_BENCH_BENCH_FIG_KMEANS_COMMON_H_
+#define ITRIM_BENCH_BENCH_FIG_KMEANS_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "exp/experiments.h"
+
+namespace itrim::bench {
+
+/// \brief Runs the three dataset panels x three attack-ratio bands of
+/// Fig 4/5 at the given threshold and prints one table per panel.
+inline int RunKmeansFigure(const std::string& figure, double tth) {
+  const int reps = EnvInt("ITRIM_BENCH_REPS", 3);
+  const struct Band {
+    const char* name;
+    std::vector<double> ratios;
+  } bands[] = {
+      {"[0,0.01]", {0.0, 0.002, 0.004, 0.006, 0.008, 0.01}},
+      {"[0.05,0.15]", {0.05, 0.07, 0.09, 0.11, 0.13, 0.15}},
+      {"[0.2,0.5]", {0.2, 0.26, 0.32, 0.38, 0.44, 0.5}},
+  };
+  const struct Panel {
+    const char* dataset;
+    double scale;
+  } panels[] = {
+      {"control", 1.0},
+      {"vehicle", 1.0},
+      {"letter", EnvScale("ITRIM_BENCH_LETTER_SCALE", 0.15)},
+  };
+
+  std::cout << figure << ": k-means clustering under poisoning, Tth=" << tth
+            << " (reps=" << reps << ", set ITRIM_BENCH_REPS=100 for the "
+            << "paper's averaging)\n";
+  for (const auto& panel : panels) {
+    for (const auto& band : bands) {
+      KmeansExperimentConfig config;
+      config.dataset = panel.dataset;
+      config.dataset_scale = panel.scale;
+      config.tth = tth;
+      config.attack_ratios = band.ratios;
+      config.repetitions = reps;
+      config.seed = 2024;
+      auto result = RunKmeansExperiment(config);
+      if (!result.ok()) {
+        std::cerr << "ERROR: " << result.status().ToString() << "\n";
+        return 1;
+      }
+      PrintBanner(std::cout, std::string(panel.dataset) + band.name +
+                                 "  (groundtruth SSE=" +
+                                 std::to_string(result->groundtruth_sse) +
+                                 ")");
+      std::vector<std::string> headers = {"scheme", "metric"};
+      for (double r : band.ratios) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.3f", r);
+        headers.push_back(buf);
+      }
+      TablePrinter table(headers);
+      for (const auto& series : result->series) {
+        table.BeginRow();
+        table.AddCell(series.scheme);
+        table.AddCell("SSE");
+        for (const auto& p : series.points) table.AddNumber(p.sse, 1);
+        table.BeginRow();
+        table.AddCell(series.scheme);
+        table.AddCell("Distance");
+        for (const auto& p : series.points) table.AddNumber(p.distance, 3);
+      }
+      table.Print(std::cout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace itrim::bench
+
+#endif  // ITRIM_BENCH_BENCH_FIG_KMEANS_COMMON_H_

@@ -1,0 +1,96 @@
+// Companion experiment: poisoning LDP *frequency* oracles — the setting of
+// the EMF baseline's original paper (Du et al.) and of Cao et al.'s
+// maximal gain attack, which Section VII positions this work against.
+//
+// Prints the frequency gain of the MGA and of the evasive input
+// manipulation attack on GRR and OUE across privacy budgets, with and
+// without the structural report trim — showing the same evasion story as
+// the mean-estimation game: blatant forgeries are easy to remove, while
+// protocol-compliant poison sails through any static check.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "ldp/frequency.h"
+
+int main() {
+  using namespace itrim;
+  const size_t kDomain = 32;
+  const size_t kHonest = 20000;
+  const size_t kAttackers = 1000;  // 5%
+  const std::vector<size_t> kTargets = {28, 29, 30, 31};
+
+  // Zipf-like truth.
+  std::vector<double> truth(kDomain);
+  double total = 0.0;
+  for (size_t v = 0; v < kDomain; ++v) {
+    truth[v] = 1.0 / static_cast<double>(v + 1);
+    total += truth[v];
+  }
+  for (double& t : truth) t /= total;
+
+  // A blatant variant that forges two-thirds of the domain at once —
+  // structurally impossible for an honest report.
+  std::vector<size_t> wide_targets(24);
+  for (size_t t = 0; t < wide_targets.size(); ++t) {
+    wide_targets[t] = kDomain - 1 - t;
+  }
+
+  PrintBanner(std::cout,
+              "Frequency-oracle poisoning: target gain (domain 32, 5% "
+              "attackers, 4 targets)");
+  TablePrinter table({"oracle", "eps", "attack", "gain (no defense)",
+                      "gain (structural trim)"});
+  for (double eps : {0.5, 1.0, 2.0, 4.0}) {
+    auto oue = OueOracle::Make(kDomain, eps).ValueOrDie();
+    for (int attack_kind = 0; attack_kind < 3; ++attack_kind) {
+      Rng rng(1234 + static_cast<uint64_t>(eps * 10.0));
+      std::unique_ptr<FrequencyAttack> attack;
+      std::string attack_label;
+      if (attack_kind == 0) {
+        attack = std::make_unique<MaximalGainAttack>(wide_targets);
+        attack_label = "mga-wide(24)";
+      } else if (attack_kind == 1) {
+        attack = std::make_unique<MaximalGainAttack>(kTargets);
+        attack_label = "mga(4)";
+      } else {
+        attack = std::make_unique<FrequencyInputManipulation>(kTargets);
+        attack_label = "input_manipulation";
+      }
+      std::vector<std::vector<uint8_t>> reports;
+      reports.reserve(kHonest + kAttackers);
+      for (size_t i = 0; i < kHonest; ++i) {
+        reports.push_back(oue.Perturb(rng.Categorical(truth), &rng));
+      }
+      for (size_t i = 0; i < kAttackers; ++i) {
+        reports.push_back(attack->PoisonReport(oue, &rng));
+      }
+      const auto& gain_targets = attack_kind == 0 ? wide_targets : kTargets;
+      auto gain_with = [&](bool trimmed) {
+        std::vector<char> keep(reports.size(), 1);
+        if (trimmed) keep = TrimOueReports(reports, oue);
+        ReportAggregator agg(kDomain);
+        for (size_t i = 0; i < reports.size(); ++i) {
+          if (keep[i]) agg.Add(reports[i]);
+        }
+        auto estimate = oue.Estimate(agg.bit_counts(), agg.count());
+        return FrequencyGain(estimate, truth, gain_targets);
+      };
+      table.BeginRow();
+      table.AddCell("oue");
+      table.AddNumber(eps, 1);
+      table.AddCell(attack_label);
+      table.AddNumber(gain_with(false), 4);
+      table.AddNumber(gain_with(true), 4);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading guide: the structural trim wipes out the blatant "
+               "wide MGA, barely dents the plausible 4-target MGA, and "
+               "cannot touch the protocol-compliant input manipulation — "
+               "the evasion gap the interactive-trimming game closes for "
+               "numeric collection.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// google-benchmark microbenchmarks for the LDP stack: mechanism throughput
+// and the EM filter fit.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ldp/attacks.h"
+#include "ldp/emf.h"
+#include "ldp/mechanism.h"
+
+namespace {
+
+using namespace itrim;
+
+void BM_MechanismPerturb(benchmark::State& state, const char* name) {
+  auto mech = MakeMechanism(name, 2.0).ValueOrDie();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech->Perturb(rng.Uniform(-1.0, 1.0), &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_MechanismPerturb, laplace, "laplace");
+BENCHMARK_CAPTURE(BM_MechanismPerturb, duchi, "duchi");
+BENCHMARK_CAPTURE(BM_MechanismPerturb, piecewise, "piecewise");
+
+void BM_ReportModelBuild(benchmark::State& state) {
+  PiecewiseMechanism mech(2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReportModel::Build(
+        mech, mech.report_lo(), mech.report_hi(), 20, 40,
+        static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * 20 * state.range(0));
+}
+BENCHMARK(BM_ReportModelBuild)->Range(1 << 8, 1 << 12);
+
+void BM_EmfFit(benchmark::State& state) {
+  PiecewiseMechanism mech(2.0);
+  GeneralManipulationAttack attack(1.0);
+  Rng rng(2);
+  ReportModel model =
+      ReportModel::Build(mech, mech.report_lo(), mech.report_hi())
+          .ValueOrDie();
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> reports;
+  for (size_t i = 0; i < n; ++i) {
+    reports.push_back(mech.Perturb(rng.Uniform(-1.0, 1.0), &rng));
+  }
+  for (size_t i = 0; i < n / 10; ++i) {
+    reports.push_back(attack.PoisonReport(mech, &rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitEmFilter(model, reports, EmfConfig{}));
+  }
+  state.SetItemsProcessed(state.iterations() * reports.size());
+}
+BENCHMARK(BM_EmfFit)->Range(1 << 10, 1 << 15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Table I: the payoff matrix of the ultimatum game and its equilibrium
+// structure, P-bar > T-bar >> P > T > 0.
+//
+// Prints the payoff matrix, verifies the unique tough/tough equilibrium and
+// the prisoner's-dilemma structure, and reports the Theorem-3 compliance
+// boundary that the repeated game uses to escape it.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "game/equilibrium.h"
+#include "game/payoff.h"
+
+int main() {
+  using namespace itrim;
+  PayoffParams params;  // P-bar=10, T-bar=6, P=1, T=0.5
+  UltimatumGame game(params);
+
+  PrintBanner(std::cout, "Table I: payoff matrix of the ultimatum game");
+  std::printf("parameters: P-bar=%.1f  T-bar=%.1f  P=%.1f  T=%.1f  (%s)\n",
+              params.p_hard, params.t_hard, params.p_soft, params.t_soft,
+              params.Validate().ok() ? "ordering OK" : "ORDERING VIOLATED");
+
+  TablePrinter table({"Collector \\ Adversary", "Soft", "Hard"});
+  auto cell = [&](Stance c, Stance a) {
+    PayoffPair p = game.Payoff(c, a);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "(%.1f, %.1f)", p.collector, p.adversary);
+    return std::string(buf);
+  };
+  table.AddRow({"Soft", cell(Stance::kSoft, Stance::kSoft),
+                cell(Stance::kSoft, Stance::kHard)});
+  table.AddRow({"Hard", cell(Stance::kHard, Stance::kSoft),
+                cell(Stance::kHard, Stance::kHard)});
+  table.Print(std::cout);
+
+  std::cout << "\npure Nash equilibria:";
+  for (auto& [c, a] : game.PureNashEquilibria()) {
+    std::cout << " (collector=" << StanceName(c)
+              << ", adversary=" << StanceName(a) << ")";
+  }
+  std::cout << "\nprisoner's-dilemma structure: "
+            << (game.HasPrisonersDilemmaStructure() ? "yes" : "NO")
+            << "\ncooperation gains: g_c=" << game.CollectorCooperationGain()
+            << "  g_a=" << game.AdversaryCooperationGain()
+            << "  g_ac=" << game.SymmetricCooperationGain() << "\n";
+
+  PrintBanner(std::cout,
+              "Theorem 3: compliance boundary delta* = (d-dp)/(1-dp) g_ac");
+  TablePrinter boundary({"d", "p", "delta*", "complies at delta=0.1?"});
+  for (double d : {0.8, 0.9, 0.95}) {
+    for (double p : {0.0, 0.5, 0.9, 1.0}) {
+      double b = TitfortatCompromiseBoundary(game, d, p);
+      boundary.BeginRow();
+      boundary.AddNumber(d, 2);
+      boundary.AddNumber(p, 2);
+      boundary.AddNumber(b, 4);
+      ComplianceSetting s{game.SymmetricCooperationGain(), 0.1, d, p};
+      boundary.AddCell(AdversaryComplies(s) ? "yes" : "no");
+    }
+  }
+  boundary.Print(std::cout);
+  return 0;
+}

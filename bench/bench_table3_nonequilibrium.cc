@@ -1,0 +1,57 @@
+// Table III: non-equilibrium results and average termination rounds.
+//
+// Control dataset, attack ratio 0.2. The adversary mixes: poison at the 99th
+// percentile with probability p, at the 90th with probability 1-p. Titfortat
+// allows a 5% redundancy; its trigger fires on the first round whose
+// estimated defect ratio exceeds (1-p) + 0.05, after which it trims at the
+// 90th percentile permanently. Reported: the untrimmed-poison proportion of
+// Titfortat and Elastic, and Titfortat's average termination round.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "exp/experiments.h"
+
+int main() {
+  using namespace itrim;
+  NonEquilibriumConfig config;
+  config.repetitions = bench::EnvInt("ITRIM_BENCH_REPS", 25);
+  std::vector<double> ps;
+  for (int i = 0; i <= 10; ++i) ps.push_back(0.1 * i);
+
+  PrintBanner(std::cout,
+              "Table III: non-equilibrium mixed strategies (Control, attack "
+              "ratio 0.2, redundancy 5%)");
+  auto rows = RunNonEquilibriumExperiment(config, ps);
+  if (!rows.ok()) {
+    std::cerr << "ERROR: " << rows.status().ToString() << "\n";
+    return 1;
+  }
+  TablePrinter table({"p", "Avg termination rounds", "Titfortat", "Elastic",
+                      "paper:term", "paper:tft", "paper:elastic"});
+  const char* paper_term[] = {"25",    "24.24", "21.56", "23.44",
+                              "19.44", "20.6",  "17.52", "14.44",
+                              "16.52", "14.28", "13"};
+  const char* paper_tft[] = {"0.22727", "0.19157", "0.19645", "0.19264",
+                             "0.18381", "0.17904", "0.17363", "0.16874",
+                             "0.17011", "0.17041", "0.18182"};
+  const char* paper_ela[] = {"0.22727", "0.22309", "0.21844", "0.21232",
+                             "0.20924", "0.20483", "0.19017", "0.17114",
+                             "0.15952", "0.15036", "0.14449"};
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const auto& r = (*rows)[i];
+    table.BeginRow();
+    table.AddNumber(r.p, 1);
+    table.AddNumber(r.avg_termination_round, 2);
+    table.AddNumber(r.titfortat_untrimmed, 5);
+    table.AddNumber(r.elastic_untrimmed, 5);
+    table.AddCell(paper_term[i]);
+    table.AddCell(paper_tft[i]);
+    table.AddCell(paper_ela[i]);
+  }
+  table.Print(std::cout);
+  std::cout << "\nshape checks: termination falls as p -> 1; Elastic's "
+               "untrimmed poison decreases monotonically in p; an adversary "
+               "deviating from equilibrium play gains no advantage.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table IV: roundwise cost of Elastic 0.1 and Elastic 0.5.
+//
+// Cost = mean deviation of the adversary's injection position from its
+// equilibrium A* over the first Round_no rounds of the coupled Elastic
+// recurrences (Section VI-A). The cumulative deviation converges, so the
+// roundwise cost decays as 1/Round_no, the paper's pattern.
+//
+// Reproduction note (also in DESIGN.md/EXPERIMENTS.md): the paper's printed
+// columns equal |A*(k)|/Round_no with the k=0.1 and k=0.5 labels exchanged
+// relative to the update equations in the text — the exact recurrence
+// converges at rate k^2, so k=0.1 settles *faster* and accumulates *less*
+// deviation, the opposite of the prose. We report the cost computed honestly
+// from the stated recurrence next to the paper's printed values.
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "exp/experiments.h"
+
+int main() {
+  using namespace itrim;
+  PrintBanner(std::cout, "Table IV: roundwise cost of the Elastic scheme");
+  for (double k : {0.1, 0.5}) {
+    ElasticTrace trace = TraceElasticDynamics(k, 5);
+    std::cout << "k=" << k
+              << ": equilibrium A* - Tth = " << trace.fixed_point_adversary
+              << ", T* - Tth = " << trace.fixed_point_collector << "\n";
+  }
+  TablePrinter table({"Round_no", "k=0.5 (%)", "k=0.1 (%)",
+                      "paper k=0.5 (%)", "paper k=0.1 (%)"});
+  const char* paper_k05[] = {"0.608",    "0.30404",  "0.20269", "0.15202",
+                             "0.12162",  "0.10135",  "0.086869", "0.07601",
+                             "0.067565", "0.060808"};
+  const char* paper_k01[] = {"0.8",      "0.43281", "0.28887",  "0.21667",
+                             "0.17333",  "0.14444", "0.12381",  "0.10833",
+                             "0.096296", "0.086667"};
+  int idx = 0;
+  for (int n = 5; n <= 50; n += 5, ++idx) {
+    table.BeginRow();
+    table.AddInt(n);
+    table.AddNumber(100.0 * ElasticRoundwiseCost(0.5, n), 5);
+    table.AddNumber(100.0 * ElasticRoundwiseCost(0.1, n), 5);
+    table.AddCell(paper_k05[idx]);
+    table.AddCell(paper_k01[idx]);
+  }
+  table.Print(std::cout);
+  std::cout << "\nshape checks: cost ~ 1/Round_no for both k; cumulative "
+               "cost converges to a constant per k.\n";
+  return 0;
+}

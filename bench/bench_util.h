@@ -1,0 +1,28 @@
+// Shared helpers for the table/figure bench binaries.
+#ifndef ITRIM_BENCH_BENCH_UTIL_H_
+#define ITRIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace itrim::bench {
+
+/// \brief Integer knob from the environment with a default (e.g. repetition
+/// counts: ITRIM_BENCH_REPS=100 reproduces the paper's averaging).
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+/// \brief Scale knob in (0, 1] from the environment.
+inline double EnvScale(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  double v = std::atof(value);
+  return v > 0.0 && v <= 1.0 ? v : fallback;
+}
+
+}  // namespace itrim::bench
+
+#endif  // ITRIM_BENCH_BENCH_UTIL_H_

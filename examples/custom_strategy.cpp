@@ -1,0 +1,128 @@
+// Example: plugging a custom collector strategy into the game, and checking
+// it against the analytical model.
+//
+// We implement a "Generous Titfortat" variant (forgives after a fixed
+// penalty window instead of defecting forever — one of the Tit-for-tat
+// variants the paper mentions extending to), run it against the mixed
+// adversary of Table III, and then use the Lagrangian toolkit to predict
+// the oscillation period of the Elastic interaction it approximates.
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "game/collection_game.h"
+#include "game/lagrangian.h"
+#include "game/quality.h"
+#include "game/strategies.h"
+
+namespace {
+
+using namespace itrim;
+
+// Forgives `penalty_rounds` rounds after each trigger instead of
+// terminating cooperation permanently.
+class GenerousTitfortat : public CollectorStrategy {
+ public:
+  GenerousTitfortat(double soft_offset, double hard_offset,
+                    double trigger_quality, int penalty_rounds)
+      : soft_offset_(soft_offset), hard_offset_(hard_offset),
+        trigger_quality_(trigger_quality), penalty_rounds_(penalty_rounds) {}
+
+  std::string name() const override { return "GenerousTitfortat"; }
+
+  double TrimPercentile(const RoundContext& ctx) override {
+    return ctx.tth + (penalty_left_ > 0 ? hard_offset_ : soft_offset_);
+  }
+
+  void Observe(const RoundObservation& obs) override {
+    if (penalty_left_ > 0) {
+      --penalty_left_;  // serve out the punishment, then forgive
+    }
+    if (!std::isnan(obs.quality) && obs.quality < trigger_quality_) {
+      penalty_left_ = penalty_rounds_;
+      ++triggers_;
+      if (first_trigger_ == 0) first_trigger_ = obs.round;
+    }
+  }
+
+  void Reset() override {
+    penalty_left_ = 0;
+    triggers_ = 0;
+    first_trigger_ = 0;
+  }
+
+  int termination_round() const override { return first_trigger_; }
+  int triggers() const { return triggers_; }
+
+ private:
+  double soft_offset_;
+  double hard_offset_;
+  double trigger_quality_;
+  int penalty_rounds_;
+  int penalty_left_ = 0;
+  int triggers_ = 0;
+  int first_trigger_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(3);
+  std::vector<double> benign_pool;
+  for (int i = 0; i < 20000; ++i) benign_pool.push_back(rng.Normal());
+
+  GameConfig config;
+  config.rounds = 30;
+  config.round_size = 800;
+  config.attack_ratio = 0.2;
+  config.tth = 0.9;
+  config.seed = 13;
+
+  // Adversary defects half the time (p = 0.5 of Table III).
+  MixedPercentileAdversary adversary(0.5);
+  GenerousTitfortat collector(+0.01, -0.03, /*trigger_quality=*/0.7,
+                              /*penalty_rounds=*/3);
+  DefectShareQuality quality(0.90, 0.99);
+
+  ScalarCollectionGame game(config, &benign_pool, &collector, &adversary,
+                            &quality);
+  auto summary = game.Run();
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("GenerousTitfortat vs mixed adversary (p=0.5):\n");
+  std::printf("  triggers fired:            %d\n", collector.triggers());
+  std::printf("  first trigger round:       %d\n",
+              collector.termination_round());
+  std::printf("  untrimmed poison fraction: %.4f\n",
+              summary->UntrimmedPoisonFraction());
+  std::printf("  benign loss fraction:      %.4f\n",
+              summary->BenignLossFraction());
+
+  // The analytical model: an elastic interaction with strength k couples the
+  // two parties' utilities; Theorem 4 predicts oscillation with period
+  // 2*pi*sqrt(mu/k).
+  const double k = 0.5, m_a = 1.0, m_c = 1.0;
+  auto solution = SolveElasticOscillator(
+      m_a, m_c, k, GameState{/*u_a=*/1.0, /*u_c=*/0.0, 0.0, 0.0});
+  if (solution.ok()) {
+    std::printf(
+        "\nTheorem 4 check: elastic interaction k=%.1f -> relative utility "
+        "oscillates with period %.3f rounds (omega=%.3f).\n",
+        k, solution->period, solution->omega);
+  }
+
+  // Verify numerically with the Euler-Lagrange integrator.
+  ElasticPotential potential(k);
+  GameLagrangian lagrangian(m_a, m_c, &potential);
+  EulerLagrangeIntegrator integrator(&lagrangian);
+  auto traj = integrator.Integrate(GameState{1.0, 0.0, 0.0, 0.0},
+                                   solution->period / 400.0, 400);
+  double w_end = traj.back().state.u_a - traj.back().state.u_c;
+  std::printf(
+      "integrating one predicted period returns the relative utility to "
+      "%.6f (started at 1.0) — the paper's oscillatory steady state.\n",
+      w_end);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Example: poisoning an LDP frequency oracle — the related-work setting
+// (Section VII) that motivates the paper's game-theoretic defense.
+//
+// A population reports its favorite item through OUE under epsilon-LDP.
+// 5% of reporters are attackers promoting a target item. We compare the
+// blatant maximal-gain attack against the evasive input-manipulation
+// attack, with and without a structural sanity trim on the reports.
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "ldp/frequency.h"
+
+int main(int argc, char** argv) {
+  using namespace itrim;
+  double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const size_t kDomain = 16;
+  const size_t kHonest = 30000;
+  const size_t kAttackers = 1500;
+  const std::vector<size_t> kTargets = {15};  // the least popular item
+
+  auto oracle_or = OueOracle::Make(kDomain, epsilon);
+  if (!oracle_or.ok()) {
+    std::fprintf(stderr, "%s\n", oracle_or.status().ToString().c_str());
+    return 1;
+  }
+  const OueOracle& oracle = *oracle_or;
+
+  // Zipf-like popularity.
+  std::vector<double> truth(kDomain);
+  double total = 0.0;
+  for (size_t v = 0; v < kDomain; ++v) {
+    truth[v] = 1.0 / static_cast<double>(v + 1);
+    total += truth[v];
+  }
+  for (double& t : truth) t /= total;
+
+  std::printf("OUE frequency estimation, domain=%zu, eps=%.1f, 5%% "
+              "attackers promoting item %zu (true freq %.4f)\n\n",
+              kDomain, epsilon, kTargets[0], truth[kTargets[0]]);
+  std::printf("%-22s %18s %18s\n", "attack", "est. target freq",
+              "after struct. trim");
+
+  for (int kind = 0; kind < 3; ++kind) {
+    Rng rng(7);
+    std::unique_ptr<FrequencyAttack> attack;
+    const char* label;
+    if (kind == 0) {
+      attack = nullptr;  // no attack
+      label = "none";
+    } else if (kind == 1) {
+      // Forge 14 of the 16 bits: far beyond any honest report's bit count
+      // (honest OUE reports average ~4.5 set bits at eps = 1).
+      std::vector<size_t> wide;
+      for (size_t t = 2; t < kDomain; ++t) wide.push_back(t);
+      attack = std::make_unique<MaximalGainAttack>(wide);
+      label = "maximal gain (wide)";
+    } else {
+      attack = std::make_unique<FrequencyInputManipulation>(kTargets);
+      label = "input manipulation";
+    }
+    std::vector<std::vector<uint8_t>> reports;
+    reports.reserve(kHonest + kAttackers);
+    for (size_t i = 0; i < kHonest; ++i) {
+      reports.push_back(oracle.Perturb(rng.Categorical(truth), &rng));
+    }
+    if (attack != nullptr) {
+      for (size_t i = 0; i < kAttackers; ++i) {
+        reports.push_back(attack->PoisonReport(oracle, &rng));
+      }
+    }
+    auto estimate_with = [&](bool trimmed) {
+      std::vector<char> keep(reports.size(), 1);
+      if (trimmed) keep = TrimOueReports(reports, oracle);
+      ReportAggregator agg(kDomain);
+      for (size_t i = 0; i < reports.size(); ++i) {
+        if (keep[i]) agg.Add(reports[i]);
+      }
+      return oracle.Estimate(agg.bit_counts(), agg.count())[kTargets[0]];
+    };
+    std::printf("%-22s %18.4f %18.4f\n", label, estimate_with(false),
+                estimate_with(true));
+  }
+  std::printf(
+      "\nthe structural trim removes only structurally impossible reports: "
+      "it stops the wide\nforgery but is blind to protocol-compliant "
+      "poison — the evasion gap the paper's\ninteractive trimming game "
+      "addresses for numeric collection (see ldp_collection).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: defend a streaming collection against an evasive adversary in
+// ~40 lines.
+//
+// A collector gathers uniform data over 15 rounds while a white-box
+// adversary injects 20% poison just below whatever it learned about the
+// collector's threshold. We run the Elastic strategy (Algorithm 2) against
+// it and print the per-round interaction plus the final bookkeeping.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "game/collection_game.h"
+#include "game/strategies.h"
+
+int main() {
+  using namespace itrim;
+
+  // A benign data source: 10k values in [0, 1].
+  Rng rng(7);
+  std::vector<double> benign_pool;
+  for (int i = 0; i < 10000; ++i) benign_pool.push_back(rng.Uniform());
+
+  // Game setup: 15 rounds of 500 values, 20% poison, nominal threshold at
+  // the 90th percentile.
+  GameConfig config;
+  config.rounds = 15;
+  config.round_size = 500;
+  config.attack_ratio = 0.2;
+  config.tth = 0.9;
+  config.seed = 42;
+
+  // The defense: Elastic with response strength k = 0.5.
+  ElasticCollector collector(0.5);
+  // The threat: an adversary that mirrors the collector's last threshold.
+  ElasticAdversary adversary(0.5);
+
+  ScalarCollectionGame game(config, &benign_pool, &collector, &adversary,
+                            /*quality=*/nullptr);
+  auto summary = game.Run();
+  if (!summary.ok()) {
+    std::fprintf(stderr, "game failed: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("round  trim@pct  inject@pct  benign kept  poison kept\n");
+  for (const auto& r : summary->rounds) {
+    std::printf("%5d    %.4f      %.4f      %4zu/%zu      %3zu/%zu\n",
+                r.round, r.collector_percentile, r.injection_percentile,
+                r.benign_kept, r.benign_received, r.poison_kept,
+                r.poison_received);
+  }
+  std::printf(
+      "\nuntrimmed poison fraction: %.4f\nbenign loss fraction:      %.4f\n"
+      "(the coupled dynamics converge: the adversary is pushed ~4%% below "
+      "the nominal threshold,\n where its poison is barely distinguishable "
+      "from honest data)\n",
+      summary->UntrimmedPoisonFraction(), summary->BenignLossFraction());
+  return 0;
+}

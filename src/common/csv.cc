@@ -1,0 +1,80 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace itrim {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+Result<std::vector<std::vector<double>>> ReadCsv(const std::string& path,
+                                                 bool skip_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool header_pending = skip_header;
+  size_t expected_width = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+    auto fields = SplitCsvLine(line);
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      char* end = nullptr;
+      double v = std::strtod(f.c_str(), &end);
+      if (end == f.c_str()) {
+        return Status::InvalidArgument("non-numeric field '" + f + "' at " +
+                                       path + ":" + std::to_string(line_no));
+      }
+      row.push_back(v);
+    }
+    if (expected_width == 0) {
+      expected_width = row.size();
+    } else if (row.size() != expected_width) {
+      return Status::InvalidArgument("ragged row at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::vector<double>>& rows,
+                const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (!header.empty()) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (i) out << ",";
+      out << header[i];
+    }
+    out << "\n";
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace itrim

@@ -1,0 +1,33 @@
+// Minimal CSV reading/writing for numeric matrices.
+//
+// Used by the dataset loader so that the real UCI/Kaggle/OpenML files can be
+// dropped in as a substitute for the built-in synthetic generators.
+#ifndef ITRIM_COMMON_CSV_H_
+#define ITRIM_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Parses a CSV file of doubles into row-major form.
+///
+/// Blank lines are skipped. If `skip_header` is true the first non-blank line
+/// is dropped. Every remaining row must have the same number of fields and
+/// every field must parse as a double.
+Result<std::vector<std::vector<double>>> ReadCsv(const std::string& path,
+                                                 bool skip_header = false);
+
+/// \brief Writes a row-major matrix as CSV with an optional header line.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::vector<double>>& rows,
+                const std::vector<std::string>& header = {});
+
+/// \brief Splits one CSV line on commas (no quoting support; numeric data).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace itrim
+
+#endif  // ITRIM_COMMON_CSV_H_

@@ -1,0 +1,52 @@
+// Fixed-width console table rendering for the benchmark harness.
+//
+// Every bench binary reproduces a table or figure from the paper by printing
+// aligned rows; TablePrinter keeps that output uniform and greppable.
+#ifndef ITRIM_COMMON_TABLE_PRINTER_H_
+#define ITRIM_COMMON_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace itrim {
+
+/// \brief Collects rows of string/number cells and renders an aligned table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// \brief Starts a new row; subsequent Add* calls fill it left to right.
+  void BeginRow();
+
+  /// \brief Appends a string cell to the current row.
+  void AddCell(const std::string& value);
+
+  /// \brief Appends a numeric cell formatted with `precision` decimals.
+  void AddNumber(double value, int precision = 4);
+
+  /// \brief Appends an integer cell.
+  void AddInt(long long value);
+
+  /// \brief Convenience: adds a whole row of string cells.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// \brief Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  /// \brief Number of data rows so far.
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Prints a titled section banner (used to label figure panels).
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace itrim
+
+#endif  // ITRIM_COMMON_TABLE_PRINTER_H_

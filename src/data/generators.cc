@@ -1,0 +1,240 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace itrim {
+
+namespace {
+
+// Original UCI synthetic-control parameters (Alcock & Manolopoulos 1999).
+constexpr double kControlMean = 30.0;
+constexpr double kControlNoise = 2.0;
+constexpr size_t kControlLength = 60;
+
+enum ControlClass {
+  kNormal = 0,
+  kCyclic = 1,
+  kIncreasing = 2,
+  kDecreasing = 3,
+  kUpShift = 4,
+  kDownShift = 5,
+};
+
+std::vector<double> ControlSeries(ControlClass cls, Rng* rng) {
+  std::vector<double> y(kControlLength);
+  // Shared class-level draws.
+  double amplitude = rng->Uniform(10.0, 15.0);
+  double period = rng->Uniform(10.0, 15.0);
+  double gradient = rng->Uniform(0.2, 0.5);
+  double shift = rng->Uniform(7.5, 20.0);
+  double t3 = rng->Uniform(static_cast<double>(kControlLength) / 3.0,
+                           2.0 * static_cast<double>(kControlLength) / 3.0);
+  for (size_t t = 0; t < kControlLength; ++t) {
+    double r = rng->Uniform(-3.0, 3.0);
+    double base = kControlMean + r * kControlNoise;
+    double ft = static_cast<double>(t);
+    switch (cls) {
+      case kNormal:
+        y[t] = base;
+        break;
+      case kCyclic:
+        y[t] = base + amplitude * std::sin(2.0 * M_PI * ft / period);
+        break;
+      case kIncreasing:
+        y[t] = base + gradient * ft;
+        break;
+      case kDecreasing:
+        y[t] = base - gradient * ft;
+        break;
+      case kUpShift:
+        y[t] = base + (ft >= t3 ? shift : 0.0);
+        break;
+      case kDownShift:
+        y[t] = base - (ft >= t3 ? shift : 0.0);
+        break;
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Dataset MakeControl(uint64_t seed, size_t instances_per_class) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "control";
+  ds.num_clusters = 6;
+  ds.rows.reserve(6 * instances_per_class);
+  ds.labels.reserve(6 * instances_per_class);
+  for (int cls = 0; cls < 6; ++cls) {
+    for (size_t i = 0; i < instances_per_class; ++i) {
+      ds.rows.push_back(ControlSeries(static_cast<ControlClass>(cls), &rng));
+      ds.labels.push_back(cls);
+    }
+  }
+  NormalizeMinMax(&ds);
+  return ds;
+}
+
+Dataset MakeVehicle(uint64_t seed, size_t instances) {
+  Rng rng(seed);
+  constexpr size_t kDims = 18;
+  constexpr size_t kClasses = 4;
+  Dataset ds;
+  ds.name = "vehicle";
+  ds.num_clusters = kClasses;
+  // Class means separated enough to be clusterable but with overlap, as in
+  // the real silhouette features (opel/saab overlap; bus/van separable).
+  std::vector<std::vector<double>> means(kClasses);
+  std::vector<double> scales(kClasses);
+  for (size_t c = 0; c < kClasses; ++c) {
+    means[c].resize(kDims);
+    for (size_t j = 0; j < kDims; ++j) means[c][j] = rng.Uniform(-4.0, 4.0);
+    scales[c] = rng.Uniform(0.8, 1.6);
+  }
+  // Make classes 0 and 1 deliberately close (the opel/saab confusion).
+  for (size_t j = 0; j < kDims; ++j) {
+    means[1][j] = means[0][j] + rng.Uniform(-1.0, 1.0);
+  }
+  for (size_t i = 0; i < instances; ++i) {
+    size_t c = i % kClasses;
+    std::vector<double> row(kDims);
+    for (size_t j = 0; j < kDims; ++j) {
+      row[j] = rng.Normal(means[c][j], scales[c]);
+    }
+    ds.rows.push_back(std::move(row));
+    ds.labels.push_back(static_cast<int>(c));
+  }
+  NormalizeMinMax(&ds);
+  return ds;
+}
+
+Dataset MakeLetter(uint64_t seed, size_t instances) {
+  Rng rng(seed);
+  constexpr size_t kDims = 16;
+  constexpr size_t kClasses = 26;
+  Dataset ds;
+  ds.name = "letter";
+  ds.num_clusters = kClasses;
+  std::vector<std::vector<double>> means(kClasses);
+  for (size_t c = 0; c < kClasses; ++c) {
+    means[c].resize(kDims);
+    for (size_t j = 0; j < kDims; ++j) means[c][j] = rng.Uniform(3.0, 12.0);
+  }
+  for (size_t i = 0; i < instances; ++i) {
+    size_t c = i % kClasses;
+    std::vector<double> row(kDims);
+    for (size_t j = 0; j < kDims; ++j) {
+      // Integer pixel-statistic features in [0, 15], like the real data.
+      double v = std::round(rng.Normal(means[c][j], 2.0));
+      row[j] = Clamp(v, 0.0, 15.0);
+    }
+    ds.rows.push_back(std::move(row));
+    ds.labels.push_back(static_cast<int>(c));
+  }
+  NormalizeMinMax(&ds);
+  return ds;
+}
+
+Dataset MakeTaxi(uint64_t seed, size_t instances) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "taxi";
+  ds.num_clusters = 1;
+  ds.rows.reserve(instances);
+  constexpr double kDaySeconds = 86340.0;
+  for (size_t i = 0; i < instances; ++i) {
+    // Mixture: morning rush, evening rush, daytime bulk, overnight tail —
+    // the familiar bimodal NYC pick-up-time profile.
+    double u = rng.Uniform();
+    double seconds;
+    if (u < 0.25) {
+      seconds = rng.Normal(8.5 * 3600.0, 1.2 * 3600.0);   // morning rush
+    } else if (u < 0.55) {
+      seconds = rng.Normal(18.5 * 3600.0, 1.8 * 3600.0);  // evening rush
+    } else if (u < 0.92) {
+      seconds = rng.Uniform(6.0 * 3600.0, 23.0 * 3600.0);  // daytime bulk
+    } else {
+      seconds = rng.Uniform(0.0, 6.0 * 3600.0);            // overnight
+    }
+    seconds = Clamp(std::round(seconds), 0.0, kDaySeconds);
+    // Normalize to [-1, 1] as in the paper.
+    ds.rows.push_back({2.0 * seconds / kDaySeconds - 1.0});
+  }
+  return ds;
+}
+
+Dataset MakeCreditcard(uint64_t seed, size_t instances) {
+  Rng rng(seed);
+  constexpr size_t kDims = 31;
+  Dataset ds;
+  ds.name = "creditcard";
+  ds.num_clusters = 4;
+  assert(instances >= 64);
+  // Class 0: the general public — a dense, mildly anisotropic PCA cloud.
+  // Class 1: fraudulent users — a tiny, tight, far cluster (one "isolated
+  //          point" on the paper's SOM).
+  // Class 2: premium users — ditto, opposite orientation.
+  // Class 3: "green" segment — 5 points in the upper tail of the bulk's
+  //          distance distribution (~89th percentile position): distant
+  //          enough to form its own SOM region, near enough that a rational
+  //          trimming threshold retains it.
+  const size_t kGreen = 5;
+  const size_t kRare = 8;  // instances per isolated class
+  const size_t bulk = instances - 2 * kRare - kGreen;
+  std::vector<double> axis_scale(kDims);
+  for (size_t j = 0; j < kDims; ++j) {
+    // PCA-ordered variance decay; bulk distances concentrate around
+    // sqrt(sum axis_scale^2) ~= 4.1.
+    axis_scale[j] = 1.5 * std::pow(0.93, static_cast<double>(j)) + 0.05;
+  }
+  for (size_t i = 0; i < bulk; ++i) {
+    std::vector<double> row(kDims);
+    for (size_t j = 0; j < kDims; ++j) row[j] = rng.Normal(0.0, axis_scale[j]);
+    ds.rows.push_back(std::move(row));
+    ds.labels.push_back(0);
+  }
+  auto rare_cluster = [&](double magnitude, int label, size_t count) {
+    auto dir = rng.UnitVector(kDims);
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<double> row(kDims);
+      for (size_t j = 0; j < kDims; ++j) {
+        row[j] = magnitude * dir[j] + rng.Normal(0.0, 0.15);
+      }
+      ds.rows.push_back(std::move(row));
+      ds.labels.push_back(label);
+    }
+  };
+  rare_cluster(14.0, 1, kRare);   // fraud
+  rare_cluster(-12.0, 2, kRare);  // premium (opposite orientation)
+  rare_cluster(4.1, 3, kGreen);  // green segment
+
+  NormalizeMinMax(&ds);
+  return ds;
+}
+
+Result<Dataset> MakeByName(const std::string& name, uint64_t seed,
+                           double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0,1], got " +
+                                   std::to_string(scale));
+  }
+  auto scaled = [scale](size_t full) {
+    return std::max<size_t>(16, static_cast<size_t>(
+                                    scale * static_cast<double>(full)));
+  };
+  if (name == "control") {
+    return MakeControl(seed, std::max<size_t>(3, scaled(600) / 6));
+  }
+  if (name == "vehicle") return MakeVehicle(seed, scaled(752));
+  if (name == "letter") return MakeLetter(seed, scaled(20000));
+  if (name == "taxi") return MakeTaxi(seed, scaled(1048575));
+  if (name == "creditcard") return MakeCreditcard(seed, scaled(284807));
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+}  // namespace itrim

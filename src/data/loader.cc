@@ -1,0 +1,42 @@
+#include "data/loader.h"
+
+#include <cmath>
+
+#include "common/csv.h"
+
+namespace itrim {
+
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const std::string& name,
+                               const LoadOptions& options) {
+  std::vector<std::vector<double>> raw;
+  ITRIM_ASSIGN_OR_RETURN(raw, ReadCsv(path, options.has_header));
+  if (raw.empty()) return Status::InvalidArgument(path + " is empty");
+  Dataset ds;
+  ds.name = name;
+  ds.num_clusters = options.num_clusters;
+  const int label_col = options.label_column;
+  const size_t width = raw[0].size();
+  if (label_col >= 0 && static_cast<size_t>(label_col) >= width) {
+    return Status::OutOfRange("label column " + std::to_string(label_col) +
+                              " out of range for width " +
+                              std::to_string(width));
+  }
+  for (auto& row : raw) {
+    std::vector<double> features;
+    features.reserve(width - (label_col >= 0 ? 1 : 0));
+    for (size_t j = 0; j < width; ++j) {
+      if (label_col >= 0 && j == static_cast<size_t>(label_col)) {
+        ds.labels.push_back(static_cast<int>(std::lround(row[j])));
+      } else {
+        features.push_back(row[j]);
+      }
+    }
+    ds.rows.push_back(std::move(features));
+  }
+  ITRIM_RETURN_NOT_OK(ds.Validate());
+  if (options.normalize) NormalizeMinMax(&ds);
+  return ds;
+}
+
+}  // namespace itrim

@@ -1,0 +1,31 @@
+// CSV dataset loading so real UCI/Kaggle/OpenML files can replace the
+// built-in synthetic generators without touching experiment code.
+#ifndef ITRIM_DATA_LOADER_H_
+#define ITRIM_DATA_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace itrim {
+
+/// \brief Options controlling CSV -> Dataset conversion.
+struct LoadOptions {
+  /// Column index holding the class label; -1 for unlabeled data.
+  int label_column = -1;
+  /// Skip the first line of the file.
+  bool has_header = false;
+  /// Min-max normalize features into [-1, 1] after loading.
+  bool normalize = true;
+  /// Nominal cluster count to record on the dataset.
+  size_t num_clusters = 1;
+};
+
+/// \brief Loads a numeric CSV into a Dataset.
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const std::string& name,
+                               const LoadOptions& options);
+
+}  // namespace itrim
+
+#endif  // ITRIM_DATA_LOADER_H_

@@ -1,0 +1,90 @@
+// Incomplete-information (black-box) adversaries — the paper's future-work
+// direction (Section VIII): attackers who cannot observe the collector's
+// strategy directly and must infer the trimming threshold from feedback.
+//
+// The only feedback a real attacker needs is the public board: it can check
+// which of its own injected values were retained. ProbingAdversary runs a
+// noisy binary search on the threshold: inject at the current estimate; if
+// the poison survived, the threshold is above the estimate (push up), if it
+// was trimmed, the threshold is below (back off). Against a static
+// collector it converges to just below the true threshold — recovering the
+// white-box "ideal attack" without white-box knowledge; against an adaptive
+// collector the two searches chase each other.
+#ifndef ITRIM_GAME_BLACKBOX_H_
+#define ITRIM_GAME_BLACKBOX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "game/strategies.h"
+
+namespace itrim {
+
+/// \brief Threshold-probing adversary (black-box model).
+class ProbingAdversary : public AdversaryStrategy {
+ public:
+  /// Searches within [lo, hi]; `safety_margin` is how far below the current
+  /// upper-bound estimate it injects once the bracket tightens.
+  ProbingAdversary(double lo = 0.5, double hi = 1.0,
+                   double safety_margin = 0.005)
+      : initial_lo_(lo), initial_hi_(hi), safety_margin_(safety_margin),
+        lo_(lo), hi_(hi) {}
+
+  std::string name() const override { return "probing"; }
+
+  double InjectionPercentile(const RoundContext&, Rng*) override {
+    // Search phase: classic bisection. Exploit phase: sit at the highest
+    // position known to survive, creeping upward slowly to track drift.
+    last_probe_ = converged_ ? lo_ : 0.5 * (lo_ + hi_);
+    return last_probe_;
+  }
+
+  void Observe(const RoundObservation& obs) override {
+    if (obs.poison_received == 0) return;
+    // Majority of this round's poison surviving means the probe sat at or
+    // below the threshold; otherwise it overshot.
+    bool survived = obs.poison_kept * 2 >= obs.poison_received;
+    if (!converged_) {
+      if (survived) {
+        lo_ = last_probe_;
+      } else {
+        hi_ = last_probe_;
+      }
+      if (hi_ - lo_ < 2.0 * safety_margin_) converged_ = true;
+      return;
+    }
+    // Exploit phase (additive-increase / multiplicative-backoff).
+    if (survived) {
+      lo_ = std::min(initial_hi_, lo_ + 0.25 * safety_margin_);
+    } else {
+      lo_ = std::max(initial_lo_, lo_ - 4.0 * safety_margin_);
+    }
+  }
+
+  void Reset() override {
+    lo_ = initial_lo_;
+    hi_ = initial_hi_;
+    last_probe_ = 0.0;
+    converged_ = false;
+  }
+
+  /// \brief Current bracket (for tests/diagnostics).
+  double bracket_lo() const { return lo_; }
+  double bracket_hi() const { return hi_; }
+  /// \brief True once the bisection finished and the exploit phase began.
+  bool converged() const { return converged_; }
+
+ private:
+  double initial_lo_;
+  double initial_hi_;
+  double safety_margin_;
+  double lo_;
+  double hi_;
+  double last_probe_ = 0.0;
+  bool converged_ = false;
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_BLACKBOX_H_

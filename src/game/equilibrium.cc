@@ -1,0 +1,63 @@
+#include "game/equilibrium.h"
+
+#include <cmath>
+
+namespace itrim {
+
+Status ComplianceSetting::Validate() const {
+  if (!(d > 0.0 && d < 1.0)) {
+    return Status::InvalidArgument("discount d must be in (0,1)");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("judgment probability p must be in [0,1]");
+  }
+  if (!(g_ac > 0.0)) {
+    return Status::InvalidArgument("g_ac must be positive");
+  }
+  if (delta < 0.0) {
+    return Status::InvalidArgument("delta must be non-negative");
+  }
+  return Status::OK();
+}
+
+double ComplianceValue(const ComplianceSetting& s) {
+  return (s.g_ac - s.delta) / (1.0 - s.d);
+}
+
+double DefectionValue(const ComplianceSetting& s) {
+  return s.g_ac / (1.0 - s.d * s.p);
+}
+
+double MaxSustainableCompromise(double g_ac, double d, double p) {
+  return (d - d * p) / (1.0 - d * p) * g_ac;
+}
+
+bool AdversaryComplies(const ComplianceSetting& s) {
+  return s.delta < MaxSustainableCompromise(s.g_ac, s.d, s.p);
+}
+
+double SimulateDefectionValue(const ComplianceSetting& s, int episodes,
+                              Rng* rng, int max_rounds) {
+  // A defector earns g_ac each round until first flagged as defecting
+  // (probability 1 - p per round), after which cooperation terminates and
+  // all future gains are zero. The discounted value telescopes to
+  // g_ac * sum_{t>=0} (d p)^t = g_ac / (1 - d p).
+  double total = 0.0;
+  for (int e = 0; e < episodes; ++e) {
+    double discount = 1.0;
+    for (int r = 0; r < max_rounds; ++r) {
+      total += discount * s.g_ac;
+      if (!rng->Bernoulli(s.p)) break;  // flagged: cooperation ends
+      discount *= s.d;
+      if (discount < 1e-12) break;
+    }
+  }
+  return total / static_cast<double>(episodes);
+}
+
+double TitfortatCompromiseBoundary(const UltimatumGame& game, double d,
+                                   double p) {
+  return MaxSustainableCompromise(game.SymmetricCooperationGain(), d, p);
+}
+
+}  // namespace itrim

@@ -1,0 +1,62 @@
+// Stackelberg-equilibrium analysis of the repeated game under
+// non-deterministic utility (Section V, Theorem 3).
+//
+// With roundwise cooperation gains g_a (adversary) and g_c (collector), the
+// symmetric setting gives g_ac = (g_a + g_c)/2. The collector concedes a
+// compromise δ in data utility and expects g0 = g_ac - δ per cooperative
+// round. A defecting adversary is (mis)judged compliant with probability p
+// because the utility function is probabilistic (e.g. LDP noise). With a
+// roundwise discount rate d, compliance pays
+//     g_com = g0 / (1 - d)
+// and defection pays
+//     g_def = g_ac / (1 - d p).
+// The adversary complies iff g_com > g_def, i.e. δ < (d - dp)/(1 - dp)·g_ac.
+#ifndef ITRIM_GAME_EQUILIBRIUM_H_
+#define ITRIM_GAME_EQUILIBRIUM_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "game/payoff.h"
+
+namespace itrim {
+
+/// \brief Parameters of the Theorem-3 setting.
+struct ComplianceSetting {
+  double g_ac = 1.0;   ///< symmetric cooperative roundwise gain
+  double delta = 0.0;  ///< collector's utility compromise (redundancy)
+  double d = 0.9;      ///< roundwise discount rate in (0, 1)
+  double p = 0.5;      ///< P(defector judged compliant) in [0, 1]
+
+  Status Validate() const;
+};
+
+/// \brief Discounted value of perpetual compliance: g0 / (1 - d).
+double ComplianceValue(const ComplianceSetting& s);
+
+/// \brief Discounted value of perpetual defection: g_ac / (1 - d p).
+double DefectionValue(const ComplianceSetting& s);
+
+/// \brief Largest compromise δ that still sustains compliance:
+/// δ* = (d - dp)/(1 - dp) · g_ac (Theorem 3 boundary).
+double MaxSustainableCompromise(double g_ac, double d, double p);
+
+/// \brief True iff the adversary rationally complies (Theorem 3):
+/// δ < (d - dp)/(1 - dp) · g_ac.
+bool AdversaryComplies(const ComplianceSetting& s);
+
+/// \brief Monte-Carlo estimate of the discounted gain of an always-defecting
+/// adversary under probabilistic judgment; validates the closed form
+/// g_ac / (1 - dp). Each episode runs until the defector is flagged
+/// (probability 1-p per round) and payoffs are discounted by d.
+double SimulateDefectionValue(const ComplianceSetting& s, int episodes,
+                              Rng* rng, int max_rounds = 10000);
+
+/// \brief Derives a Titfortat threshold compromise from payoffs: given the
+/// ultimatum game and (p, d), returns the δ* boundary computed from
+/// g_ac = (P + T̄ - P - T)/2 per Section V.
+double TitfortatCompromiseBoundary(const UltimatumGame& game, double d,
+                                   double p);
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_EQUILIBRIUM_H_

@@ -1,0 +1,116 @@
+#include "game/lagrangian.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace itrim {
+
+GameLagrangian::GameLagrangian(double m_a, double m_c,
+                               const InteractionPotential* potential)
+    : m_a_(m_a), m_c_(m_c), potential_(potential) {
+  assert(m_a > 0.0 && m_c > 0.0);
+  assert(potential != nullptr);
+}
+
+double GameLagrangian::Evaluate(const GameState& s) const {
+  double kinetic = 0.5 * m_a_ * s.v_a * s.v_a + 0.5 * m_c_ * s.v_c * s.v_c;
+  return kinetic - potential_->Energy(s.u_a, s.u_c);
+}
+
+double GameLagrangian::Energy(const GameState& s) const {
+  double kinetic = 0.5 * m_a_ * s.v_a * s.v_a + 0.5 * m_c_ * s.v_c * s.v_c;
+  return kinetic + potential_->Energy(s.u_a, s.u_c);
+}
+
+void GameLagrangian::Accelerations(const GameState& s, double* a_a,
+                                   double* a_c) const {
+  *a_a = -potential_->GradA(s.u_a, s.u_c) / m_a_;
+  *a_c = -potential_->GradC(s.u_a, s.u_c) / m_c_;
+}
+
+GameState EulerLagrangeIntegrator::Derivative(const GameState& s) const {
+  GameState d;
+  d.u_a = s.v_a;
+  d.u_c = s.v_c;
+  lagrangian_->Accelerations(s, &d.v_a, &d.v_c);
+  return d;
+}
+
+GameState EulerLagrangeIntegrator::Step(const GameState& s, double dr) const {
+  auto add = [](const GameState& a, const GameState& b, double scale) {
+    return GameState{a.u_a + scale * b.u_a, a.u_c + scale * b.u_c,
+                     a.v_a + scale * b.v_a, a.v_c + scale * b.v_c};
+  };
+  GameState k1 = Derivative(s);
+  GameState k2 = Derivative(add(s, k1, dr / 2.0));
+  GameState k3 = Derivative(add(s, k2, dr / 2.0));
+  GameState k4 = Derivative(add(s, k3, dr));
+  GameState out = s;
+  out.u_a += dr / 6.0 * (k1.u_a + 2 * k2.u_a + 2 * k3.u_a + k4.u_a);
+  out.u_c += dr / 6.0 * (k1.u_c + 2 * k2.u_c + 2 * k3.u_c + k4.u_c);
+  out.v_a += dr / 6.0 * (k1.v_a + 2 * k2.v_a + 2 * k3.v_a + k4.v_a);
+  out.v_c += dr / 6.0 * (k1.v_c + 2 * k2.v_c + 2 * k3.v_c + k4.v_c);
+  return out;
+}
+
+std::vector<TrajectoryPoint> EulerLagrangeIntegrator::Integrate(
+    const GameState& initial, double dr, int steps) const {
+  assert(dr > 0.0 && steps >= 0);
+  std::vector<TrajectoryPoint> out;
+  out.reserve(static_cast<size_t>(steps) + 1);
+  GameState s = initial;
+  double r = 0.0;
+  out.push_back({r, s});
+  for (int i = 0; i < steps; ++i) {
+    s = Step(s, dr);
+    r += dr;
+    out.push_back({r, s});
+  }
+  return out;
+}
+
+double Action(const GameLagrangian& lagrangian,
+              const std::vector<TrajectoryPoint>& trajectory) {
+  if (trajectory.size() < 2) return 0.0;
+  double action = 0.0;
+  for (size_t i = 1; i < trajectory.size(); ++i) {
+    double dr = trajectory[i].r - trajectory[i - 1].r;
+    double l0 = lagrangian.Evaluate(trajectory[i - 1].state);
+    double l1 = lagrangian.Evaluate(trajectory[i].state);
+    action += 0.5 * (l0 + l1) * dr;
+  }
+  return action;
+}
+
+double OscillatorSolution::Relative(double r) const {
+  return amplitude * std::cos(omega * r + phase);
+}
+
+Result<OscillatorSolution> SolveElasticOscillator(double m_a, double m_c,
+                                                  double k,
+                                                  const GameState& initial) {
+  if (!(m_a > 0.0 && m_c > 0.0)) {
+    return Status::InvalidArgument("masses must be positive");
+  }
+  if (!(k > 0.0)) {
+    return Status::InvalidArgument("spring constant k must be positive");
+  }
+  // Relative coordinate w = u_a - u_c obeys μ ẅ = -k w with the reduced
+  // mass μ; the center of utility moves freely (Theorem 1 applies to it).
+  double mu = m_a * m_c / (m_a + m_c);
+  double omega = std::sqrt(k / mu);
+  double w0 = initial.u_a - initial.u_c;
+  double wdot0 = initial.v_a - initial.v_c;
+  // w(r) = A cos(ω r + φ): A cos φ = w0, -A ω sin φ = wdot0.
+  double amplitude =
+      std::sqrt(w0 * w0 + (wdot0 / omega) * (wdot0 / omega));
+  double phase = std::atan2(-wdot0 / omega, w0);
+  OscillatorSolution sol;
+  sol.omega = omega;
+  sol.amplitude = amplitude;
+  sol.phase = phase;
+  sol.period = 2.0 * M_PI / omega;
+  return sol;
+}
+
+}  // namespace itrim

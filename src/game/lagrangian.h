@@ -1,0 +1,153 @@
+// Analytical model of the infinite collection game (Sections IV & V).
+//
+// The utility functions u_a(r), u_c(r) of adversary and collector act as
+// generalized coordinates; the round index r is the continuous "time". The
+// system obeys the least-action principle (Axiom 1) with Lagrangian
+//
+//     L = m_a u̇_a²/2 + m_c u̇_c²/2 - U(u_a, u_c).
+//
+// Equilibrium state (Theorems 1-2): U = 0, hence u̇ = const — utilities grow
+// linearly and the parties evolve independently.
+// Non-equilibrium Elastic state (Definition 2, Theorem 4):
+// U = k (u_a - u_c)²/2 couples the parties like two masses on a spring; the
+// relative utility oscillates as A·cos(ω r + φ) with ω = sqrt(k/μ),
+// μ = m_a m_c / (m_a + m_c).
+//
+// Note on signs: the paper writes L = m_a u̇_a² + m_c u̇_c² + U (eq. 9) but
+// derives the oscillator equations m ü + k(u_a - u_c) = 0 (eq. 14), which
+// follow from the standard mechanics convention L = K - U with kinetic terms
+// m u̇²/2. We implement the standard convention so that eq. 14 and
+// Theorem 4 hold exactly.
+#ifndef ITRIM_GAME_LAGRANGIAN_H_
+#define ITRIM_GAME_LAGRANGIAN_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Interaction potential U(u_a, u_c) with analytic gradient.
+class InteractionPotential {
+ public:
+  virtual ~InteractionPotential() = default;
+
+  /// \brief Potential energy at (u_a, u_c).
+  virtual double Energy(double u_a, double u_c) const = 0;
+  /// \brief dU/du_a.
+  virtual double GradA(double u_a, double u_c) const = 0;
+  /// \brief dU/du_c.
+  virtual double GradC(double u_a, double u_c) const = 0;
+};
+
+/// \brief U = 0: the Stackelberg-equilibrium (free) state of Theorem 1.
+class FreePotential : public InteractionPotential {
+ public:
+  double Energy(double, double) const override { return 0.0; }
+  double GradA(double, double) const override { return 0.0; }
+  double GradC(double, double) const override { return 0.0; }
+};
+
+/// \brief U = k (u_a - u_c)² / 2: the Elastic strategy (Definition 2).
+class ElasticPotential : public InteractionPotential {
+ public:
+  explicit ElasticPotential(double k) : k_(k) {}
+  double Energy(double u_a, double u_c) const override {
+    double w = u_a - u_c;
+    return 0.5 * k_ * w * w;
+  }
+  double GradA(double u_a, double u_c) const override {
+    return k_ * (u_a - u_c);
+  }
+  double GradC(double u_a, double u_c) const override {
+    return -k_ * (u_a - u_c);
+  }
+  double k() const { return k_; }
+
+ private:
+  double k_;
+};
+
+/// \brief Phase-space state of the two-party system.
+struct GameState {
+  double u_a = 0.0;  ///< adversary utility
+  double u_c = 0.0;  ///< collector utility
+  double v_a = 0.0;  ///< du_a/dr
+  double v_c = 0.0;  ///< du_c/dr
+};
+
+/// \brief One trajectory sample: (r, state).
+struct TrajectoryPoint {
+  double r = 0.0;
+  GameState state;
+};
+
+/// \brief The system Lagrangian L = m_a v_a²/2 + m_c v_c²/2 - U.
+class GameLagrangian {
+ public:
+  /// Requires positive masses; the potential is borrowed (not owned).
+  GameLagrangian(double m_a, double m_c, const InteractionPotential* potential);
+
+  /// \brief L evaluated at a state.
+  double Evaluate(const GameState& s) const;
+
+  /// \brief Total energy (kinetic + potential); conserved along solutions.
+  double Energy(const GameState& s) const;
+
+  /// \brief Euler–Lagrange accelerations:
+  /// ü_a = -GradA/m_a, ü_c = -GradC/m_c (eq. 14 of the paper).
+  void Accelerations(const GameState& s, double* a_a, double* a_c) const;
+
+  double m_a() const { return m_a_; }
+  double m_c() const { return m_c_; }
+
+ private:
+  double m_a_;
+  double m_c_;
+  const InteractionPotential* potential_;
+};
+
+/// \brief RK4 integrator for the Euler–Lagrange equations of the game.
+class EulerLagrangeIntegrator {
+ public:
+  explicit EulerLagrangeIntegrator(const GameLagrangian* lagrangian)
+      : lagrangian_(lagrangian) {}
+
+  /// \brief Integrates from `initial` over `steps` steps of size `dr`,
+  /// returning steps+1 trajectory points (including the initial one).
+  std::vector<TrajectoryPoint> Integrate(const GameState& initial, double dr,
+                                         int steps) const;
+
+ private:
+  GameState Derivative(const GameState& s) const;
+  GameState Step(const GameState& s, double dr) const;
+
+  const GameLagrangian* lagrangian_;
+};
+
+/// \brief Discretized action S = ∫ L dr over a trajectory (trapezoid rule).
+double Action(const GameLagrangian& lagrangian,
+              const std::vector<TrajectoryPoint>& trajectory);
+
+/// \brief Closed-form parameters of the Theorem-4 oscillation of the
+/// relative utility w(r) = u_a(r) - u_c(r) = A cos(ω r + φ) + drift terms.
+struct OscillatorSolution {
+  double omega = 0.0;      ///< angular frequency sqrt(k/μ)
+  double amplitude = 0.0;  ///< A
+  double phase = 0.0;      ///< φ
+  double period = 0.0;     ///< 2π/ω
+
+  /// \brief w(r) from the closed form.
+  double Relative(double r) const;
+};
+
+/// \brief Solves the elastic two-body problem analytically for the relative
+/// coordinate. Requires k > 0 and positive masses.
+Result<OscillatorSolution> SolveElasticOscillator(double m_a, double m_c,
+                                                  double k,
+                                                  const GameState& initial);
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_LAGRANGIAN_H_

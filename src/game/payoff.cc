@@ -1,0 +1,87 @@
+#include "game/payoff.h"
+
+namespace itrim {
+
+std::string_view StanceName(Stance s) {
+  return s == Stance::kSoft ? "Soft" : "Hard";
+}
+
+Status PayoffParams::Validate() const {
+  if (!(t_soft > 0.0)) {
+    return Status::InvalidArgument("require T > 0");
+  }
+  if (!(p_soft > t_soft)) {
+    return Status::InvalidArgument("require P > T");
+  }
+  if (!(t_hard > p_soft)) {
+    return Status::InvalidArgument("require T-bar > P");
+  }
+  if (!(p_hard > t_hard)) {
+    return Status::InvalidArgument("require P-bar > T-bar");
+  }
+  return Status::OK();
+}
+
+UltimatumGame::UltimatumGame(PayoffParams params) : params_(params) {}
+
+PayoffPair UltimatumGame::Payoff(Stance c, Stance a) const {
+  if (c == Stance::kHard) {
+    // Hard trimming (near xL) removes any rational poison: the adversary
+    // gains nothing and the collector pays the hard-trim overhead.
+    return {-params_.t_hard, 0.0};
+  }
+  if (a == Stance::kSoft) {
+    // Soft poison survives the soft trim.
+    return {-params_.p_soft - params_.t_soft, params_.p_soft};
+  }
+  // Hard poison survives the soft trim.
+  return {-params_.p_hard - params_.t_soft, params_.p_hard};
+}
+
+std::vector<std::pair<Stance, Stance>> UltimatumGame::PureNashEquilibria()
+    const {
+  std::vector<std::pair<Stance, Stance>> out;
+  const Stance stances[2] = {Stance::kSoft, Stance::kHard};
+  for (Stance c : stances) {
+    for (Stance a : stances) {
+      double col = Payoff(c, a).collector;
+      double adv = Payoff(c, a).adversary;
+      bool collector_best = true, adversary_best = true;
+      for (Stance c2 : stances) {
+        if (Payoff(c2, a).collector > col) collector_best = false;
+      }
+      for (Stance a2 : stances) {
+        if (Payoff(c, a2).adversary > adv) adversary_best = false;
+      }
+      if (collector_best && adversary_best) out.emplace_back(c, a);
+    }
+  }
+  return out;
+}
+
+bool UltimatumGame::HasPrisonersDilemmaStructure() const {
+  // (Hard, Hard) must be an equilibrium and (Soft, Soft) must strictly
+  // improve both parties over it.
+  PayoffPair hard = Payoff(Stance::kHard, Stance::kHard);
+  PayoffPair soft = Payoff(Stance::kSoft, Stance::kSoft);
+  bool hard_is_eq = false;
+  for (auto& [c, a] : PureNashEquilibria()) {
+    if (c == Stance::kHard && a == Stance::kHard) hard_is_eq = true;
+  }
+  return hard_is_eq && soft.collector > hard.collector &&
+         soft.adversary > hard.adversary;
+}
+
+double UltimatumGame::CollectorCooperationGain() const {
+  return params_.t_hard - params_.p_soft - params_.t_soft;
+}
+
+double UltimatumGame::AdversaryCooperationGain() const {
+  return params_.p_soft;
+}
+
+double UltimatumGame::SymmetricCooperationGain() const {
+  return 0.5 * (AdversaryCooperationGain() + CollectorCooperationGain());
+}
+
+}  // namespace itrim

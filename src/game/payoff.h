@@ -1,0 +1,88 @@
+// Payoff model of the single-round data-collection game (Section III).
+//
+// The game between collector and adversary is zero-sum in the poisoning
+// payoff P, but the collector additionally pays a trimming overhead T for
+// benign values removed. With Soft/Hard stances for both parties the
+// one-shot game is the ultimatum game of Table I: it has a unique pure Nash
+// equilibrium where both parties play Hard, even though (Soft, Soft) is
+// mutually preferable — the structure that motivates the repeated game.
+#ifndef ITRIM_GAME_PAYOFF_H_
+#define ITRIM_GAME_PAYOFF_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Stance of a player in the one-shot game.
+enum class Stance { kSoft = 0, kHard = 1 };
+
+/// \brief Returns "Soft" or "Hard".
+std::string_view StanceName(Stance s);
+
+/// \brief A (collector, adversary) payoff pair.
+struct PayoffPair {
+  double collector = 0.0;
+  double adversary = 0.0;
+
+  bool operator==(const PayoffPair&) const = default;
+};
+
+/// \brief Payoff parameters with the paper's ordering P̄ > T̄ >> P > T > 0.
+///
+/// `p_hard`/`p_soft` are the adversary's gains from hard/soft poison that
+/// survives trimming; `t_hard`/`t_soft` are the collector's overheads for
+/// hard/soft trimming.
+struct PayoffParams {
+  double p_hard = 10.0;  ///< P̄: gain of surviving hard (near-xR) poison.
+  double t_hard = 6.0;   ///< T̄: overhead of hard (near-xL) trimming.
+  double p_soft = 1.0;   ///< P: gain of surviving soft (near-xL) poison.
+  double t_soft = 0.5;   ///< T: overhead of soft (near-xR) trimming.
+
+  /// \brief Checks the ordering P̄ > T̄ > P > T > 0 required by Table I.
+  Status Validate() const;
+};
+
+/// \brief The 2x2 ultimatum game of Table I.
+class UltimatumGame {
+ public:
+  explicit UltimatumGame(PayoffParams params);
+
+  /// \brief Payoffs when the collector plays `c` and the adversary plays `a`.
+  ///
+  /// (Soft, Soft):  soft poison survives soft trim — (-P - T, +P).
+  /// (Soft, Hard):  hard poison survives soft trim — (-P̄ - T, +P̄).
+  /// (Hard, *):     hard trimming removes all poison — (-T̄, 0).
+  PayoffPair Payoff(Stance c, Stance a) const;
+
+  /// \brief All pure-strategy Nash equilibria (weak best responses allowed).
+  std::vector<std::pair<Stance, Stance>> PureNashEquilibria() const;
+
+  /// \brief True iff the unique *strict* equilibrium is (Hard, Hard) while
+  /// (Soft, Soft) Pareto-dominates it — the prisoner's-dilemma structure the
+  /// paper derives from Table I.
+  bool HasPrisonersDilemmaStructure() const;
+
+  /// \brief Collector's roundwise cooperation gain
+  /// g_c = payoff(Soft,Soft).collector - payoff(Hard,Hard).collector
+  ///     = T̄ - P - T  (Section V).
+  double CollectorCooperationGain() const;
+
+  /// \brief Adversary's roundwise cooperation gain g_a = P (Section V).
+  double AdversaryCooperationGain() const;
+
+  /// \brief Symmetric-axiom cooperative gain g_ac = (g_a + g_c) / 2.
+  double SymmetricCooperationGain() const;
+
+  const PayoffParams& params() const { return params_; }
+
+ private:
+  PayoffParams params_;
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_PAYOFF_H_

@@ -1,0 +1,117 @@
+#include "game/position_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "stats/quantile.h"
+
+namespace itrim {
+
+Result<PositionMap> PositionMap::Build(
+    const std::vector<std::vector<double>>& sample) {
+  if (sample.size() < 2) {
+    return Status::InvalidArgument("position map needs >= 2 sample rows");
+  }
+  const size_t dims = sample[0].size();
+  if (dims == 0) return Status::InvalidArgument("zero-dimensional rows");
+  for (const auto& row : sample) {
+    if (row.size() != dims) {
+      return Status::InvalidArgument("ragged sample matrix");
+    }
+  }
+  PositionMap map;
+  map.centroid_ = Centroid(sample);
+
+  // Sort each feature column once; evaluate the quantile vector per knot.
+  std::vector<std::vector<double>> columns(dims);
+  for (size_t j = 0; j < dims; ++j) {
+    columns[j].reserve(sample.size());
+    for (const auto& row : sample) columns[j].push_back(row[j]);
+    std::sort(columns[j].begin(), columns[j].end());
+  }
+  const size_t knots =
+      static_cast<size_t>(std::lround((1.0 - kGridLo) / kGridStep)) + 1;
+  map.grid_distance_.resize(knots);
+  std::vector<double> qvec(dims);
+  for (size_t i = 0; i < knots; ++i) {
+    double a = kGridLo + static_cast<double>(i) * kGridStep;
+    for (size_t j = 0; j < dims; ++j) {
+      qvec[j] = QuantileSorted(columns[j], a);
+    }
+    map.grid_distance_[i] = EuclideanDistance(qvec, map.centroid_);
+  }
+  // Enforce monotonicity (running max): skewed features can make the raw
+  // curve dip locally; the envelope keeps the inverse well-defined.
+  for (size_t i = 1; i < knots; ++i) {
+    map.grid_distance_[i] =
+        std::max(map.grid_distance_[i], map.grid_distance_[i - 1]);
+  }
+  // Guard against a degenerate (constant) sample.
+  if (map.grid_distance_.back() <= 0.0) {
+    return Status::InvalidArgument("sample has no spread around centroid");
+  }
+  // Canonical adversarial direction: toward the 0.95 quantile vector.
+  for (size_t j = 0; j < dims; ++j) {
+    qvec[j] = QuantileSorted(columns[j], 0.95);
+  }
+  map.quantile_direction_.resize(dims);
+  double norm = EuclideanDistance(qvec, map.centroid_);
+  if (norm <= 0.0) norm = 1.0;
+  for (size_t j = 0; j < dims; ++j) {
+    map.quantile_direction_[j] = (qvec[j] - map.centroid_[j]) / norm;
+  }
+  return map;
+}
+
+double PositionMap::DistanceAt(double position) const {
+  const double d_lo = grid_distance_.front();
+  const double d_hi = grid_distance_.back();
+  if (position <= kGridLo) {
+    // Shrink linearly toward the centroid.
+    return d_lo * std::max(position, 0.0) / kGridLo;
+  }
+  if (position >= 1.0) {
+    // Extrapolate beyond the observed domain proportionally.
+    return d_hi * (1.0 + (position - 1.0));
+  }
+  double idx = (position - kGridLo) / kGridStep;
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, grid_distance_.size() - 1);
+  return Lerp(grid_distance_[lo], grid_distance_[hi],
+              idx - static_cast<double>(lo));
+}
+
+double PositionMap::PositionOf(double distance) const {
+  const double d_lo = grid_distance_.front();
+  const double d_hi = grid_distance_.back();
+  if (distance <= d_lo) {
+    return d_lo > 0.0 ? kGridLo * distance / d_lo : 0.0;
+  }
+  if (distance >= d_hi) {
+    return 1.0 + (distance - d_hi) / d_hi;
+  }
+  // Binary search the monotone grid, then invert the linear segment.
+  auto it = std::lower_bound(grid_distance_.begin(), grid_distance_.end(),
+                             distance);
+  size_t hi = static_cast<size_t>(it - grid_distance_.begin());
+  size_t lo = hi == 0 ? 0 : hi - 1;
+  double span = grid_distance_[hi] - grid_distance_[lo];
+  double frac = span > 0.0 ? (distance - grid_distance_[lo]) / span : 0.0;
+  return kGridLo + (static_cast<double>(lo) + frac) * kGridStep;
+}
+
+double PositionMap::PositionOfRow(const std::vector<double>& row) const {
+  return PositionOf(EuclideanDistance(row, centroid_));
+}
+
+std::vector<double> PositionMap::MakePoint(
+    double position, const std::vector<double>& direction) const {
+  assert(direction.size() == centroid_.size());
+  std::vector<double> out = centroid_;
+  Axpy(DistanceAt(position), direction, &out);
+  return out;
+}
+
+}  // namespace itrim

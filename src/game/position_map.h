@@ -1,0 +1,86 @@
+// Percentile-position geometry for multi-dimensional rounds.
+//
+// The paper expresses every strategy (injection and trimming positions) as a
+// *data percentile* (Section VI-A). For a d-dimensional dataset the natural
+// generalization of "the value at percentile a" is the per-feature quantile
+// vector q(a) = (q_1(a), ..., q_d(a)); a colluding adversary injecting "at
+// percentile a" fabricates rows at distance D(a) = ||q(a) - centroid|| from
+// the data centroid, and a collector trimming "at percentile T" removes rows
+// farther than D(T).
+//
+// PositionMap captures this mapping, built once from the clean round-0
+// calibration sample: a monotone grid of (position a -> distance D(a)) on
+// [0.5, 1] plus its inverse. Scoring a row means mapping its centroid
+// distance back to a position, so the whole game — trimming thresholds,
+// injection points, quality bands — plays out in one shared percentile
+// coordinate, exactly like the scalar case.
+//
+// Empirically (see DESIGN.md) this geometry reproduces the paper's two key
+// quantitative features: benign loss under a threshold T ~= 1 - T for
+// T in [0.85, 0.93] and ~0 for T >= 0.95 (the Fig 4 vs Fig 5 overhead
+// difference), and poison damage that grows steeply toward a = 1 (the
+// Ostrich-vs-defenses gap).
+#ifndef ITRIM_GAME_POSITION_MAP_H_
+#define ITRIM_GAME_POSITION_MAP_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Monotone position <-> distance mapping for row-valued rounds.
+class PositionMap {
+ public:
+  /// Creates an empty map; populate it via Build().
+  PositionMap() = default;
+
+  /// \brief Builds the map from a clean sample (>= 2 rows, uniform width).
+  static Result<PositionMap> Build(
+      const std::vector<std::vector<double>>& sample);
+
+  /// \brief Centroid of the calibration sample.
+  const std::vector<double>& centroid() const { return centroid_; }
+
+  /// \brief Distance from the centroid representing `position`.
+  ///
+  /// Positions in [0.5, 1] interpolate the quantile-vector grid; positions
+  /// above 1 extrapolate linearly (the adversary may fabricate values beyond
+  /// the observed domain); positions below 0.5 shrink linearly to 0.
+  double DistanceAt(double position) const;
+
+  /// \brief Inverse of DistanceAt: the position whose representative
+  /// distance equals `distance` (clamped/extrapolated consistently).
+  double PositionOf(double distance) const;
+
+  /// \brief Position score of a row (its centroid distance, inverted).
+  double PositionOfRow(const std::vector<double>& row) const;
+
+  /// \brief Fabricates a row at `position` along `direction` (unit vector):
+  /// centroid + DistanceAt(position) * direction.
+  std::vector<double> MakePoint(double position,
+                                const std::vector<double>& direction) const;
+
+  /// \brief Unit direction of the upper quantile vector q(0.95) - centroid:
+  /// the data-meaningful "all features high" direction a colluding adversary
+  /// fabricates values along (a random direction would be nearly orthogonal
+  /// to the class structure in high dimension and dilute the attack).
+  const std::vector<double>& quantile_direction() const {
+    return quantile_direction_;
+  }
+
+  /// \brief Number of grid knots (for introspection/tests).
+  size_t grid_size() const { return grid_distance_.size(); }
+
+ private:
+  static constexpr double kGridLo = 0.5;
+  static constexpr double kGridStep = 0.005;
+
+  std::vector<double> centroid_;
+  std::vector<double> quantile_direction_;
+  std::vector<double> grid_distance_;  // D(a) at a = kGridLo + i*kGridStep
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_POSITION_MAP_H_

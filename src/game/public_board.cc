@@ -1,0 +1,57 @@
+#include "game/public_board.h"
+
+#include <algorithm>
+
+#include "stats/quantile.h"
+
+namespace itrim {
+
+PublicBoard::PublicBoard(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {}
+
+void PublicBoard::Record(const std::vector<double>& values) {
+  for (double v : values) RecordOne(v);
+}
+
+void PublicBoard::RecordOne(double value) {
+  ++total_recorded_;
+  if (capacity_ == 0 || values_.size() < capacity_) {
+    values_.push_back(value);
+  } else {
+    // Reservoir sampling keeps the board an unbiased sample of everything
+    // ever recorded while bounding memory.
+    size_t j = static_cast<size_t>(rng_.UniformInt(total_recorded_));
+    if (j < capacity_) values_[j] = value;
+  }
+  cache_valid_ = false;
+}
+
+void PublicBoard::EnsureSorted() const {
+  if (cache_valid_) return;
+  sorted_cache_ = values_;
+  std::sort(sorted_cache_.begin(), sorted_cache_.end());
+  cache_valid_ = true;
+}
+
+Result<double> PublicBoard::Quantile(double q) const {
+  if (values_.empty()) {
+    return Status::FailedPrecondition("public board is empty");
+  }
+  EnsureSorted();
+  return QuantileSorted(sorted_cache_, q);
+}
+
+double PublicBoard::PercentileRank(double x) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  return PercentileRankSorted(sorted_cache_, x);
+}
+
+void PublicBoard::Clear() {
+  values_.clear();
+  sorted_cache_.clear();
+  cache_valid_ = false;
+  total_recorded_ = 0;
+}
+
+}  // namespace itrim

@@ -1,0 +1,71 @@
+// The public board of the infinite collection game (Fig 3).
+//
+// The collector records data on a board that the adversary can read; both
+// parties derive percentile positions from it. The board therefore *is* the
+// commonly-known reference distribution that percentile-denominated
+// strategies are defined against. The collection games seed it with a clean
+// round-0 calibration sample (the same sample Algorithm 1's QE(X0) baseline
+// is measured on) and keep that reference fixed: re-recording the trimmed
+// survivors would make the reference absorb its own truncation and spiral
+// the cutoffs downward, so all round-to-round adaptivity lives in the
+// strategies, not in reference drift.
+#ifndef ITRIM_GAME_PUBLIC_BOARD_H_
+#define ITRIM_GAME_PUBLIC_BOARD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Append-only record of retained scalar observations with quantile
+/// queries.
+///
+/// Memory is bounded by reservoir downsampling once `capacity` is exceeded;
+/// quantiles are computed exactly over the (possibly downsampled) record.
+class PublicBoard {
+ public:
+  /// Creates a board retaining at most `capacity` values (0 = unbounded).
+  explicit PublicBoard(size_t capacity = 0, uint64_t seed = 17);
+
+  /// \brief Records a batch of retained values.
+  void Record(const std::vector<double>& values);
+
+  /// \brief Records one retained value.
+  void RecordOne(double value);
+
+  /// \brief q-quantile (q in [0,1]) of the recorded distribution.
+  /// Returns an error when the board is empty.
+  Result<double> Quantile(double q) const;
+
+  /// \brief Percentile rank of `x` in [0,1] against the recorded data.
+  double PercentileRank(double x) const;
+
+  /// \brief Number of values currently held.
+  size_t size() const { return values_.size(); }
+
+  /// \brief Total number of values ever recorded (pre-downsampling).
+  size_t total_recorded() const { return total_recorded_; }
+
+  /// \brief All currently held values (unsorted).
+  const std::vector<double>& values() const { return values_; }
+
+  /// \brief Drops all records.
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  size_t capacity_;
+  size_t total_recorded_ = 0;
+  Rng rng_;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_cache_;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_PUBLIC_BOARD_H_

@@ -1,0 +1,13 @@
+#include "game/strategies.h"
+
+#include <cstdio>
+
+namespace itrim {
+
+std::string ElasticCollector::FormatK() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2g", k_);
+  return buf;
+}
+
+}  // namespace itrim

@@ -1,0 +1,294 @@
+// Collector and adversary strategies of the online collection game.
+//
+// All positions are percentiles of the public-board reference distribution
+// (Section VI-A). Implemented collectors:
+//   Ostrich        — never trims (accepts all poison).
+//   Static         — fixed threshold (the two Baseline schemes).
+//   Titfortat      — Algorithm 1: soft threshold until the quality judgement
+//                    triggers, then a hard threshold forever.
+//   Elastic        — Algorithm 2: T(i+1) = Tth + k (A(i) - Tth - 1%).
+// Implemented adversaries:
+//   FixedPercentile   — always injects at one position (Ostrich pairing: 99th).
+//   UniformRange      — uniform random position in [lo, hi] (Baseline 0.9).
+//   ThresholdOffset   — tracks the collector's last threshold plus an offset
+//                       (the "ideal attack" of Baseline static at -1%).
+//   ElasticAdversary  — A(i+1) = Tth - 3% + k (T(i) - Tth).
+//   MixedPercentile   — 99th w.p. p, 90th w.p. 1-p (the Table-III study).
+//
+// The threat model is white-box with complete information (Section III-A):
+// each party observes the other's previous-round position exactly, which is
+// why RoundObservation carries the realized injection percentile.
+#ifndef ITRIM_GAME_STRATEGIES_H_
+#define ITRIM_GAME_STRATEGIES_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "game/public_board.h"
+#include "game/quality.h"
+
+namespace itrim {
+
+/// \brief Sentinel trim percentile meaning "keep everything".
+inline constexpr double kNoTrim = 2.0;
+
+/// \brief Inputs available to a strategy when choosing its round-i position.
+struct RoundContext {
+  int round = 1;          ///< 1-based round index
+  double tth = 0.9;       ///< nominal threshold percentile of the scheme
+  const PublicBoard* board = nullptr;  ///< public reference distribution
+  /// Collector threshold percentile of round i-1 (NaN in round 1).
+  double prev_collector_percentile = std::nan("");
+  /// Mean injection percentile observed in round i-1 (NaN in round 1 or if
+  /// no poison arrived).
+  double prev_injection_percentile = std::nan("");
+  /// Quality score of round i-1 (NaN in round 1).
+  double prev_quality = std::nan("");
+};
+
+/// \brief What both parties observe once a round completes.
+///
+/// The poison counters model the *adversary's* self-knowledge: it can
+/// recognize its own values on the public board and count how many
+/// survived. Collector strategies must not read them (the collector cannot
+/// distinguish poison from benign data — that is the whole problem).
+struct RoundObservation {
+  int round = 1;
+  double collector_percentile = kNoTrim;
+  double injection_percentile = std::nan("");  ///< realized mean position
+  double quality = std::nan("");
+  size_t received = 0;
+  size_t kept = 0;
+  size_t poison_received = 0;  ///< adversary-side knowledge only
+  size_t poison_kept = 0;      ///< adversary-side knowledge only
+};
+
+/// \brief Defender side: chooses the trim percentile each round.
+class CollectorStrategy {
+ public:
+  virtual ~CollectorStrategy() = default;
+  virtual std::string name() const = 0;
+  /// \brief Threshold percentile for this round; >= 1 keeps everything.
+  virtual double TrimPercentile(const RoundContext& ctx) = 0;
+  /// \brief Feedback after the round completes.
+  virtual void Observe(const RoundObservation& /*obs*/) {}
+  /// \brief Restores the initial state (for repeated experiments).
+  virtual void Reset() {}
+  /// \brief Round at which the judgement triggered; 0 when never.
+  virtual int termination_round() const { return 0; }
+};
+
+/// \brief Attacker side: chooses an injection percentile per poison value.
+class AdversaryStrategy {
+ public:
+  virtual ~AdversaryStrategy() = default;
+  virtual std::string name() const = 0;
+  /// \brief Percentile (of the board reference) for one poison value.
+  virtual double InjectionPercentile(const RoundContext& ctx, Rng* rng) = 0;
+  virtual void Observe(const RoundObservation& /*obs*/) {}
+  virtual void Reset() {}
+};
+
+// ---------------------------------------------------------------------------
+// Collectors
+// ---------------------------------------------------------------------------
+
+/// \brief No defensive measures: accepts every value (the Ostrich scheme).
+class OstrichCollector : public CollectorStrategy {
+ public:
+  std::string name() const override { return "Ostrich"; }
+  double TrimPercentile(const RoundContext&) override { return kNoTrim; }
+};
+
+/// \brief Static threshold at a fixed percentile (both Baseline schemes).
+class StaticCollector : public CollectorStrategy {
+ public:
+  explicit StaticCollector(double percentile, std::string label = "Baseline")
+      : percentile_(percentile), label_(std::move(label)) {}
+  std::string name() const override { return label_; }
+  double TrimPercentile(const RoundContext&) override { return percentile_; }
+
+ private:
+  double percentile_;
+  std::string label_;
+};
+
+/// \brief Algorithm 1: Titfortat trigger strategy.
+///
+/// Trims at `tth + soft_offset` until a round's quality falls below
+/// `trigger_quality`; from the next round on it trims at `tth + hard_offset`
+/// permanently. In the paper's Section VI-A instantiation
+/// soft_offset = +1% and hard_offset = -3%.
+class TitfortatCollector : public CollectorStrategy {
+ public:
+  TitfortatCollector(double soft_offset, double hard_offset,
+                     double trigger_quality)
+      : soft_offset_(soft_offset), hard_offset_(hard_offset),
+        trigger_quality_(trigger_quality) {}
+
+  std::string name() const override { return "Titfortat"; }
+  double TrimPercentile(const RoundContext& ctx) override {
+    return ctx.tth + (triggered_ ? hard_offset_ : soft_offset_);
+  }
+  void Observe(const RoundObservation& obs) override {
+    if (!triggered_ && !std::isnan(obs.quality) &&
+        obs.quality < trigger_quality_) {
+      triggered_ = true;
+      termination_round_ = obs.round;
+    }
+  }
+  void Reset() override {
+    triggered_ = false;
+    termination_round_ = 0;
+  }
+  int termination_round() const override { return termination_round_; }
+  bool triggered() const { return triggered_; }
+
+ private:
+  double soft_offset_;
+  double hard_offset_;
+  double trigger_quality_;
+  bool triggered_ = false;
+  int termination_round_ = 0;
+};
+
+/// \brief Algorithm 2: Elastic trigger strategy with forgiveness.
+///
+/// Round 1 trims at `tth + initial_offset` (paper: -3%); afterwards the
+/// threshold responds proportionally to the adversary's observed position:
+///     T(i+1) = Tth + k (A(i) - Tth + response_offset),
+/// with response_offset = -1% in the paper's instantiation. When no
+/// injection was observed (clean round) the threshold relaxes back to Tth.
+class ElasticCollector : public CollectorStrategy {
+ public:
+  ElasticCollector(double k, double initial_offset = -0.03,
+                   double response_offset = -0.01)
+      : k_(k), initial_offset_(initial_offset),
+        response_offset_(response_offset) {}
+
+  std::string name() const override {
+    return "Elastic" + FormatK();
+  }
+  double TrimPercentile(const RoundContext& ctx) override {
+    if (ctx.round <= 1 || std::isnan(last_injection_)) {
+      return ctx.round <= 1 ? ctx.tth + initial_offset_ : ctx.tth;
+    }
+    return ctx.tth + k_ * (last_injection_ - ctx.tth + response_offset_);
+  }
+  void Observe(const RoundObservation& obs) override {
+    last_injection_ = obs.injection_percentile;
+  }
+  void Reset() override { last_injection_ = std::nan(""); }
+  double k() const { return k_; }
+
+ private:
+  std::string FormatK() const;
+
+  double k_;
+  double initial_offset_;
+  double response_offset_;
+  double last_injection_ = std::nan("");
+};
+
+// ---------------------------------------------------------------------------
+// Adversaries
+// ---------------------------------------------------------------------------
+
+/// \brief Injects every poison value at one fixed percentile.
+class FixedPercentileAdversary : public AdversaryStrategy {
+ public:
+  explicit FixedPercentileAdversary(double percentile)
+      : percentile_(percentile) {}
+  std::string name() const override { return "fixed"; }
+  double InjectionPercentile(const RoundContext&, Rng*) override {
+    return percentile_;
+  }
+
+ private:
+  double percentile_;
+};
+
+/// \brief Uniform random injection position in [lo, hi] (Baseline 0.9 foe).
+class UniformRangeAdversary : public AdversaryStrategy {
+ public:
+  UniformRangeAdversary(double lo, double hi) : lo_(lo), hi_(hi) {}
+  std::string name() const override { return "uniform_range"; }
+  double InjectionPercentile(const RoundContext&, Rng* rng) override {
+    return rng->Uniform(lo_, hi_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// \brief The "ideal attack": injects relative to the collector's last
+/// observed threshold (offset -1% reproduces Baseline static's adversary,
+/// offset 0 reproduces the maximally-aggressive-but-compliant play used
+/// against Titfortat).
+class ThresholdOffsetAdversary : public AdversaryStrategy {
+ public:
+  explicit ThresholdOffsetAdversary(double offset) : offset_(offset) {}
+  std::string name() const override { return "threshold_offset"; }
+  double InjectionPercentile(const RoundContext& ctx, Rng*) override {
+    double base = std::isnan(ctx.prev_collector_percentile)
+                      ? ctx.tth
+                      : ctx.prev_collector_percentile;
+    return base + offset_;
+  }
+
+ private:
+  double offset_;
+};
+
+/// \brief The elastic adversary of Section VI-A:
+/// A(1) = Tth + 1%, A(i+1) = Tth + base_offset + k (T(i) - Tth),
+/// base_offset = -3%.
+class ElasticAdversary : public AdversaryStrategy {
+ public:
+  ElasticAdversary(double k, double initial_offset = 0.01,
+                   double base_offset = -0.03)
+      : k_(k), initial_offset_(initial_offset), base_offset_(base_offset) {}
+
+  std::string name() const override { return "elastic_adversary"; }
+  double InjectionPercentile(const RoundContext& ctx, Rng*) override {
+    if (ctx.round <= 1 || std::isnan(last_threshold_)) {
+      return ctx.tth + initial_offset_;
+    }
+    return ctx.tth + base_offset_ + k_ * (last_threshold_ - ctx.tth);
+  }
+  void Observe(const RoundObservation& obs) override {
+    last_threshold_ = obs.collector_percentile;
+  }
+  void Reset() override { last_threshold_ = std::nan(""); }
+
+ private:
+  double k_;
+  double initial_offset_;
+  double base_offset_;
+  double last_threshold_ = std::nan("");
+};
+
+/// \brief Mixed strategy of the Table-III study: position hi w.p. p,
+/// position lo w.p. 1-p, drawn independently per poison value.
+class MixedPercentileAdversary : public AdversaryStrategy {
+ public:
+  MixedPercentileAdversary(double p, double hi = 0.99, double lo = 0.90)
+      : p_(p), hi_(hi), lo_(lo) {}
+  std::string name() const override { return "mixed"; }
+  double InjectionPercentile(const RoundContext&, Rng* rng) override {
+    return rng->Bernoulli(p_) ? hi_ : lo_;
+  }
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  double hi_;
+  double lo_;
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_STRATEGIES_H_

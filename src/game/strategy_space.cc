@@ -1,0 +1,65 @@
+#include "game/strategy_space.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace itrim {
+
+Result<StrategySpace> StrategySpace::Make(double x_left, double x_right) {
+  if (!(x_left < x_right)) {
+    return Status::InvalidArgument("require x_left < x_right");
+  }
+  if (!std::isfinite(x_left) || !std::isfinite(x_right)) {
+    return Status::InvalidArgument("strategy space bounds must be finite");
+  }
+  return StrategySpace(x_left, x_right);
+}
+
+Result<MixedStrategy> StrategySpace::ReduceToMixed(double x) const {
+  if (!Contains(x)) {
+    return Status::OutOfRange("x outside [xL, xR]");
+  }
+  double p_right = (x - x_left_) / (x_right_ - x_left_);
+  return MixedStrategy{1.0 - p_right, p_right};
+}
+
+MixedStrategy StrategySpace::ReduceDistribution(
+    const std::vector<double>& values) const {
+  if (values.empty()) return MixedStrategy{1.0, 0.0};
+  double acc = 0.0;
+  for (double v : values) acc += Clamp(v, x_left_, x_right_);
+  double mean = acc / static_cast<double>(values.size());
+  double p_right = (mean - x_left_) / (x_right_ - x_left_);
+  return MixedStrategy{1.0 - p_right, p_right};
+}
+
+Result<double> SolveBalancePoint(
+    const std::function<double(double)>& poison_loss,
+    const std::function<double(double)>& trim_overhead, double lo, double hi,
+    double tolerance, int max_iterations) {
+  if (!(lo < hi)) return Status::InvalidArgument("require lo < hi");
+  auto gap = [&](double x) { return poison_loss(x) - trim_overhead(x); };
+  double glo = gap(lo), ghi = gap(hi);
+  if (glo == 0.0) return lo;
+  if (ghi == 0.0) return hi;
+  if (glo * ghi > 0.0) {
+    return Status::FailedPrecondition(
+        "P - T does not change sign over the bracket");
+  }
+  double a = lo, b = hi;
+  for (int i = 0; i < max_iterations; ++i) {
+    double mid = 0.5 * (a + b);
+    double gm = gap(mid);
+    if (std::fabs(gm) < tolerance || 0.5 * (b - a) < tolerance) return mid;
+    if (gm * glo < 0.0) {
+      b = mid;
+    } else {
+      a = mid;
+      glo = gm;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace itrim

@@ -1,0 +1,73 @@
+// The complete trimming strategy space [xL, xR] of Section III-C.
+//
+// xL is the balance point where the loss from poison equals the trimming
+// overhead (Fig 1a); xR is the largest value the collector believes a
+// rational adversary would inject (Fig 2). Any injection point in [xL, xR]
+// is a convex combination of the endpoints, i.e. a mixed strategy
+// (pL, pR = 1 - pL); by additivity any poison-value *distribution* on the
+// domain reduces to a single mixed-strategy point (Fig 1b), which is what
+// makes the strategy space complete.
+#ifndef ITRIM_GAME_STRATEGY_SPACE_H_
+#define ITRIM_GAME_STRATEGY_SPACE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief A mixed strategy over the endpoints of [xL, xR].
+struct MixedStrategy {
+  double p_left = 0.0;   ///< probability mass on xL
+  double p_right = 0.0;  ///< probability mass on xR (= 1 - p_left)
+
+  /// \brief The strategy's position x = pL*xL + pR*xR.
+  double Position(double x_left, double x_right) const {
+    return p_left * x_left + p_right * x_right;
+  }
+};
+
+/// \brief The complete strategy domain [xL, xR] for both parties.
+class StrategySpace {
+ public:
+  /// Creates the domain; requires x_left < x_right.
+  static Result<StrategySpace> Make(double x_left, double x_right);
+
+  double x_left() const { return x_left_; }
+  double x_right() const { return x_right_; }
+
+  /// \brief True iff `x` lies in [xL, xR].
+  bool Contains(double x) const { return x >= x_left_ && x <= x_right_; }
+
+  /// \brief Reduces a single injection point to its mixed strategy
+  /// (Section III-C2). Requires Contains(x).
+  Result<MixedStrategy> ReduceToMixed(double x) const;
+
+  /// \brief Reduces an arbitrary poison-value distribution (samples with
+  /// weights) to a single mixed-strategy point via its mean, using the
+  /// additivity argument of Fig 1b. Out-of-domain samples are clamped.
+  MixedStrategy ReduceDistribution(const std::vector<double>& values) const;
+
+ private:
+  StrategySpace(double x_left, double x_right)
+      : x_left_(x_left), x_right_(x_right) {}
+
+  double x_left_;
+  double x_right_;
+};
+
+/// \brief Solves for the balance point xL with P(xL) = T(xL) (Fig 1a) by
+/// bisection on [lo, hi].
+///
+/// `poison_loss` must be non-decreasing and `trim_overhead` non-increasing
+/// over the bracket, with (P - T) changing sign across it; otherwise
+/// an error is returned.
+Result<double> SolveBalancePoint(
+    const std::function<double(double)>& poison_loss,
+    const std::function<double(double)>& trim_overhead, double lo, double hi,
+    double tolerance = 1e-10, int max_iterations = 200);
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_STRATEGY_SPACE_H_

@@ -1,0 +1,107 @@
+#include "game/trimmer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/math_util.h"
+#include "stats/quantile.h"
+
+namespace itrim {
+
+TrimOutcome TrimAboveValue(const std::vector<double>& values, double cutoff) {
+  TrimOutcome out;
+  out.cutoff = cutoff;
+  out.keep.resize(values.size(), 1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > cutoff) {
+      out.keep[i] = 0;
+      ++out.removed_count;
+    } else {
+      ++out.kept_count;
+    }
+  }
+  return out;
+}
+
+Result<TrimOutcome> TrimAtReferencePercentile(
+    const std::vector<double>& values, const std::vector<double>& reference,
+    double q) {
+  if (reference.empty()) {
+    return Status::FailedPrecondition("empty reference distribution");
+  }
+  if (q >= 1.0) {
+    TrimOutcome out;
+    out.cutoff = std::numeric_limits<double>::infinity();
+    out.keep.assign(values.size(), 1);
+    out.kept_count = values.size();
+    return out;
+  }
+  double cutoff = Quantile(reference, q);
+  return TrimAboveValue(values, cutoff);
+}
+
+TrimOutcome TrimTopFraction(const std::vector<double>& values, double q) {
+  TrimOutcome out;
+  out.keep.assign(values.size(), 1);
+  if (q >= 1.0 || values.empty()) {
+    out.cutoff = std::numeric_limits<double>::infinity();
+    out.kept_count = values.size();
+    return out;
+  }
+  q = std::max(q, 0.0);
+  size_t remove = static_cast<size_t>(
+      std::ceil((1.0 - q) * static_cast<double>(values.size())));
+  remove = std::min(remove, values.size());
+  // Partial sort of indices by descending value; remove the top `remove`.
+  std::vector<size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::nth_element(idx.begin(), idx.begin() + static_cast<long>(remove),
+                   idx.end(),
+                   [&](size_t a, size_t b) { return values[a] > values[b]; });
+  double cutoff = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < remove; ++i) {
+    out.keep[idx[i]] = 0;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (out.keep[i]) cutoff = std::min(cutoff, values[i]);
+  }
+  // The reported cutoff is the smallest removed value (the effective
+  // threshold); fall back to +inf when nothing was removed.
+  if (remove > 0) {
+    double smallest_removed = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < remove; ++i) {
+      smallest_removed = std::min(smallest_removed, values[idx[i]]);
+    }
+    out.cutoff = smallest_removed;
+  }
+  out.removed_count = remove;
+  out.kept_count = values.size() - remove;
+  return out;
+}
+
+DistanceTrimmer::DistanceTrimmer(std::vector<double> centroid)
+    : centroid_(std::move(centroid)) {}
+
+std::vector<double> DistanceTrimmer::Scores(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    out.push_back(EuclideanDistance(row, centroid_));
+  }
+  return out;
+}
+
+Result<TrimOutcome> DistanceTrimmer::TrimRows(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& reference_distances, double q) const {
+  if (reference_distances.empty()) {
+    return Status::FailedPrecondition("empty reference distance sample");
+  }
+  std::vector<double> scores = Scores(rows);
+  return TrimAtReferencePercentile(scores, reference_distances, q);
+}
+
+}  // namespace itrim

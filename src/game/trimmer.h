@@ -1,0 +1,84 @@
+// Distance-based sanitization (trimming) primitives.
+//
+// The defender computes a score d_i per data point and removes points with
+// d_i above a threshold θ_d (Kloft & Laskov). Three variants are provided:
+//
+//  * TrimAboveValue      — scalar data, explicit cutoff value.
+//  * TrimAtReferencePercentile — cutoff = percentile of a reference
+//    distribution (the public board), applied to the incoming round.
+//  * TrimTopFraction     — remove the top (1-q) mass fraction of the round
+//    itself (the `prctile`-on-received semantics; robust to percentile atoms).
+//
+// Multi-dimensional rounds are reduced to scalars by the distance transform
+// (distance to a reference centroid) in DistanceTrimmer.
+#ifndef ITRIM_GAME_TRIMMER_H_
+#define ITRIM_GAME_TRIMMER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Result of trimming one batch: kept mask plus bookkeeping.
+struct TrimOutcome {
+  /// keep[i] is true iff element i survived.
+  std::vector<char> keep;
+  size_t kept_count = 0;
+  size_t removed_count = 0;
+  /// The cutoff value actually applied (+inf when nothing was trimmed).
+  double cutoff = 0.0;
+};
+
+/// \brief Removes values strictly above `cutoff`.
+TrimOutcome TrimAboveValue(const std::vector<double>& values, double cutoff);
+
+/// \brief Removes values strictly above the q-quantile of `reference`.
+/// Requires a non-empty reference.
+Result<TrimOutcome> TrimAtReferencePercentile(
+    const std::vector<double>& values, const std::vector<double>& reference,
+    double q);
+
+/// \brief Removes exactly the ceil((1-q)*n) largest values of the round
+/// itself (ties broken by position). q >= 1 keeps everything.
+TrimOutcome TrimTopFraction(const std::vector<double>& values, double q);
+
+/// \brief Applies a keep-mask, returning the surviving elements.
+template <typename T>
+std::vector<T> ApplyMask(const std::vector<T>& values,
+                         const std::vector<char>& keep) {
+  std::vector<T> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (keep[i]) out.push_back(values[i]);
+  }
+  return out;
+}
+
+/// \brief Distance transform for multi-dimensional rounds: scores each row
+/// by Euclidean distance to a reference centroid.
+class DistanceTrimmer {
+ public:
+  /// Captures the reference centroid (copied).
+  explicit DistanceTrimmer(std::vector<double> centroid);
+
+  /// \brief Distance scores of `rows` against the centroid.
+  std::vector<double> Scores(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// \brief Removes rows whose distance exceeds the q-quantile of the
+  /// reference distance sample `reference_distances`.
+  Result<TrimOutcome> TrimRows(const std::vector<std::vector<double>>& rows,
+                               const std::vector<double>& reference_distances,
+                               double q) const;
+
+  const std::vector<double>& centroid() const { return centroid_; }
+
+ private:
+  std::vector<double> centroid_;
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_TRIMMER_H_

@@ -1,0 +1,36 @@
+#include "game/variants.h"
+
+namespace itrim {
+
+void TitForTwoTatsCollector::Observe(const RoundObservation& obs) {
+  if (triggered_ || std::isnan(obs.quality)) return;
+  if (obs.quality < trigger_quality_) {
+    ++consecutive_bad_;
+    if (consecutive_bad_ >= 2) {
+      triggered_ = true;
+      termination_round_ = obs.round;
+    }
+  } else {
+    consecutive_bad_ = 0;
+  }
+}
+
+void GenerousTitfortatCollector::Observe(const RoundObservation& obs) {
+  if (penalty_left_ > 0) --penalty_left_;
+  if (std::isnan(obs.quality) || obs.quality >= trigger_quality_) return;
+  if (rng_.Bernoulli(generosity_)) return;  // forgiven
+  penalty_left_ = penalty_rounds_;
+  ++triggers_;
+  if (first_trigger_round_ == 0) first_trigger_round_ = obs.round;
+}
+
+void PavlovCollector::Observe(const RoundObservation& obs) {
+  if (std::isnan(obs.quality)) return;
+  bool bad = obs.quality < trigger_quality_;
+  if (bad) {
+    hard_ = !hard_;
+    if (first_shift_round_ == 0) first_shift_round_ = obs.round;
+  }
+}
+
+}  // namespace itrim

@@ -1,0 +1,129 @@
+// Trigger-strategy variants beyond the paper's two main strategies.
+//
+// Section V notes that "numerous variants of Tit-for-tat exist, such as
+// Tits-for-two-tats and Generous Tit-for-tat [and] they can also be adapted
+// through Elastic strategies"; deriving their parameters is listed as future
+// work. This module implements the classic variants in the collector
+// interface so they can be dropped into any collection game and compared
+// against the paper's Titfortat/Elastic (see bench_ablation_variants):
+//
+//  * TitForTwoTatsCollector — retaliates only after two *consecutive*
+//    low-quality rounds; tolerant of one-off jitter, slower to punish.
+//  * GenerousTitfortatCollector — retaliation lasts a fixed penalty window
+//    and each trigger is ignored ("forgiven") with probability g, the
+//    Nowak–Sigmund generosity that avoids permanent breakdown under noise.
+//  * PavlovCollector — win-stay/lose-shift: keeps its current stance after
+//    a good round, flips it after a bad one.
+#ifndef ITRIM_GAME_VARIANTS_H_
+#define ITRIM_GAME_VARIANTS_H_
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "game/strategies.h"
+
+namespace itrim {
+
+/// \brief Retaliates permanently only after two consecutive bad rounds.
+class TitForTwoTatsCollector : public CollectorStrategy {
+ public:
+  TitForTwoTatsCollector(double soft_offset, double hard_offset,
+                         double trigger_quality)
+      : soft_offset_(soft_offset), hard_offset_(hard_offset),
+        trigger_quality_(trigger_quality) {}
+
+  std::string name() const override { return "TitForTwoTats"; }
+  double TrimPercentile(const RoundContext& ctx) override {
+    return ctx.tth + (triggered_ ? hard_offset_ : soft_offset_);
+  }
+  void Observe(const RoundObservation& obs) override;
+  void Reset() override {
+    triggered_ = false;
+    consecutive_bad_ = 0;
+    termination_round_ = 0;
+  }
+  int termination_round() const override { return termination_round_; }
+  bool triggered() const { return triggered_; }
+
+ private:
+  double soft_offset_;
+  double hard_offset_;
+  double trigger_quality_;
+  bool triggered_ = false;
+  int consecutive_bad_ = 0;
+  int termination_round_ = 0;
+};
+
+/// \brief Generous Tit-for-tat: finite punishment plus probabilistic
+/// forgiveness (generosity) of detected defections.
+class GenerousTitfortatCollector : public CollectorStrategy {
+ public:
+  /// `generosity` in [0, 1] is the probability a detected defection is
+  /// forgiven outright; `penalty_rounds` is the retaliation window length.
+  GenerousTitfortatCollector(double soft_offset, double hard_offset,
+                             double trigger_quality, double generosity,
+                             int penalty_rounds, uint64_t seed)
+      : soft_offset_(soft_offset), hard_offset_(hard_offset),
+        trigger_quality_(trigger_quality), generosity_(generosity),
+        penalty_rounds_(penalty_rounds), rng_(seed) {}
+
+  std::string name() const override { return "GenerousTitfortat"; }
+  double TrimPercentile(const RoundContext& ctx) override {
+    return ctx.tth + (penalty_left_ > 0 ? hard_offset_ : soft_offset_);
+  }
+  void Observe(const RoundObservation& obs) override;
+  void Reset() override {
+    penalty_left_ = 0;
+    triggers_ = 0;
+    first_trigger_round_ = 0;
+  }
+  /// \brief First round a (non-forgiven) trigger fired; 0 when never.
+  int termination_round() const override { return first_trigger_round_; }
+  /// \brief Number of non-forgiven triggers so far.
+  int triggers() const { return triggers_; }
+
+ private:
+  double soft_offset_;
+  double hard_offset_;
+  double trigger_quality_;
+  double generosity_;
+  int penalty_rounds_;
+  Rng rng_;
+  int penalty_left_ = 0;
+  int triggers_ = 0;
+  int first_trigger_round_ = 0;
+};
+
+/// \brief Pavlov (win-stay/lose-shift): repeats its stance after good
+/// rounds, flips after bad ones.
+class PavlovCollector : public CollectorStrategy {
+ public:
+  PavlovCollector(double soft_offset, double hard_offset,
+                  double trigger_quality)
+      : soft_offset_(soft_offset), hard_offset_(hard_offset),
+        trigger_quality_(trigger_quality) {}
+
+  std::string name() const override { return "Pavlov"; }
+  double TrimPercentile(const RoundContext& ctx) override {
+    return ctx.tth + (hard_ ? hard_offset_ : soft_offset_);
+  }
+  void Observe(const RoundObservation& obs) override;
+  void Reset() override {
+    hard_ = false;
+    first_shift_round_ = 0;
+  }
+  int termination_round() const override { return first_shift_round_; }
+  bool playing_hard() const { return hard_; }
+
+ private:
+  double soft_offset_;
+  double hard_offset_;
+  double trigger_quality_;
+  bool hard_ = false;
+  int first_shift_round_ = 0;
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_VARIANTS_H_

@@ -1,0 +1,269 @@
+#include "ldp/ldp_game.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+#include "game/public_board.h"
+#include "game/trimmer.h"
+
+namespace itrim {
+
+Status LdpGameConfig::Validate() const {
+  if (rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
+  if (users_per_round == 0) {
+    return Status::InvalidArgument("users_per_round must be > 0");
+  }
+  if (attack_ratio < 0.0) {
+    return Status::InvalidArgument("attack_ratio must be >= 0");
+  }
+  if (!(tth > 0.0 && tth < 1.0)) {
+    return Status::InvalidArgument("tth must be in (0,1)");
+  }
+  if (bootstrap_size == 0) {
+    return Status::InvalidArgument("bootstrap_size must be > 0");
+  }
+  return Status::OK();
+}
+
+LdpCollectionGame::LdpCollectionGame(LdpGameConfig config,
+                                     const std::vector<double>* population,
+                                     const LdpMechanism* mechanism,
+                                     LdpAttack* attack)
+    : config_(config), population_(population), mechanism_(mechanism),
+      attack_(attack) {
+  assert(population != nullptr && mechanism != nullptr && attack != nullptr);
+}
+
+double LdpCollectionGame::TrueMean() const { return Mean(*population_); }
+
+void LdpCollectionGame::ReportBounds(double* lo, double* hi) const {
+  *lo = mechanism_->report_lo();
+  *hi = mechanism_->report_hi();
+  if (!std::isfinite(*lo) || !std::isfinite(*hi)) {
+    // Laplace reports are unbounded; cover all but a negligible tail.
+    double spread = 1.0 + 2.0 / mechanism_->epsilon() * 8.0;
+    *lo = -spread;
+    *hi = spread;
+  }
+}
+
+void LdpCollectionGame::GenerateRound(Rng* rng, std::vector<double>* reports,
+                                      std::vector<char>* is_poison) const {
+  const size_t attackers = static_cast<size_t>(std::llround(
+      config_.attack_ratio * static_cast<double>(config_.users_per_round)));
+  reports->clear();
+  is_poison->clear();
+  reports->reserve(config_.users_per_round + attackers);
+  is_poison->reserve(config_.users_per_round + attackers);
+  for (size_t i = 0; i < config_.users_per_round; ++i) {
+    double x = (*population_)[rng->UniformInt(population_->size())];
+    reports->push_back(mechanism_->Perturb(x, rng));
+    is_poison->push_back(0);
+  }
+  for (size_t i = 0; i < attackers; ++i) {
+    reports->push_back(attack_->PoisonReport(*mechanism_, rng));
+    is_poison->push_back(1);
+  }
+}
+
+Result<LdpRunResult> LdpCollectionGame::RunTrimming(
+    CollectorStrategy* collector, QualityEvaluation* quality) {
+  ITRIM_RETURN_NOT_OK(config_.Validate());
+  if (population_->empty()) {
+    return Status::FailedPrecondition("empty population");
+  }
+  Rng rng(config_.seed);
+  collector->Reset();
+  PublicBoard board(config_.board_capacity, config_.seed ^ 0x1234567ULL);
+
+  // Round 0: clean bootstrap of honest reports fixes the percentile
+  // reference (the calibration sample behind Algorithm 1's QE(X0)).
+  for (size_t i = 0; i < config_.bootstrap_size; ++i) {
+    double x = (*population_)[rng.UniformInt(population_->size())];
+    board.RecordOne(mechanism_->Perturb(x, &rng));
+  }
+
+  LdpRunResult result;
+  result.true_mean = TrueMean();
+  double kept_sum = 0.0;
+  size_t kept_count = 0;
+  RoundObservation prev;
+  bool have_prev = false;
+  std::vector<double> reports;
+  std::vector<char> is_poison;
+
+  for (int round = 1; round <= config_.rounds; ++round) {
+    RoundContext ctx;
+    ctx.round = round;
+    ctx.tth = config_.tth;
+    ctx.board = &board;
+    if (have_prev) {
+      ctx.prev_collector_percentile = prev.collector_percentile;
+      ctx.prev_injection_percentile = prev.injection_percentile;
+      ctx.prev_quality = prev.quality;
+    }
+    double trim_percentile = collector->TrimPercentile(ctx);
+
+    GenerateRound(&rng, &reports, &is_poison);
+
+    // Collector-side estimate of the attack position: the board rank of the
+    // centroid of this round's upper-tail excess (what an Elastic defender
+    // can actually observe).
+    double injection_estimate = std::nan("");
+    {
+      auto tail_cut = board.Quantile(config_.tth);
+      if (tail_cut.ok()) {
+        double sum = 0.0;
+        size_t count = 0;
+        for (double v : reports) {
+          if (v > *tail_cut) {
+            sum += v;
+            ++count;
+          }
+        }
+        if (count > 0) {
+          injection_estimate = board.PercentileRank(
+              sum / static_cast<double>(count));
+        }
+      }
+    }
+
+    double quality_score =
+        quality != nullptr ? quality->Evaluate(reports, board) : 1.0;
+
+    // Trimming is symmetric: keep reports within the [1 - q, q] percentile
+    // band of the clean report reference. Symmetric truncation keeps the
+    // mean estimator unbiased under the mechanisms' symmetric noise while
+    // the upper cut removes the attack's high-side mass; the lower cut's
+    // false positives are what inflate MSE at small epsilon (the Fig 9
+    // inflection).
+    TrimOutcome outcome;
+    if (trim_percentile >= 1.0) {
+      outcome.keep.assign(reports.size(), 1);
+      outcome.kept_count = reports.size();
+      outcome.cutoff = std::numeric_limits<double>::infinity();
+    } else {
+      ITRIM_ASSIGN_OR_RETURN(double upper_cut,
+                             board.Quantile(trim_percentile));
+      ITRIM_ASSIGN_OR_RETURN(double lower_cut,
+                             board.Quantile(1.0 - trim_percentile));
+      outcome.cutoff = upper_cut;
+      outcome.keep.assign(reports.size(), 1);
+      for (size_t i = 0; i < reports.size(); ++i) {
+        if (reports[i] > upper_cut || reports[i] < lower_cut) {
+          outcome.keep[i] = 0;
+          ++outcome.removed_count;
+        } else {
+          ++outcome.kept_count;
+        }
+      }
+    }
+
+    RoundRecord record;
+    record.round = round;
+    record.collector_percentile = trim_percentile;
+    record.injection_percentile = injection_estimate;
+    record.cutoff = outcome.cutoff;
+    record.quality = quality_score;
+    for (size_t i = 0; i < reports.size(); ++i) {
+      bool poison = is_poison[i] != 0;
+      if (poison) {
+        ++record.poison_received;
+      } else {
+        ++record.benign_received;
+      }
+      if (outcome.keep[i]) {
+        if (poison) {
+          ++record.poison_kept;
+        } else {
+          ++record.benign_kept;
+        }
+        kept_sum += reports[i];
+        ++kept_count;
+      }
+    }
+    result.game.rounds.push_back(record);
+
+    prev = RoundObservation{round,
+                            trim_percentile,
+                            injection_estimate,
+                            quality_score,
+                            reports.size(),
+                            record.benign_kept + record.poison_kept,
+                            record.poison_received,
+                            record.poison_kept};
+    have_prev = true;
+    collector->Observe(prev);
+  }
+  result.game.termination_round = collector->termination_round();
+  result.estimated_mean =
+      kept_count > 0 ? kept_sum / static_cast<double>(kept_count) : 0.0;
+  double err = result.estimated_mean - result.true_mean;
+  result.squared_error = err * err;
+  return result;
+}
+
+Result<LdpRunResult> LdpCollectionGame::RunEmf(const EmfConfig& emf_config) {
+  ITRIM_RETURN_NOT_OK(config_.Validate());
+  if (population_->empty()) {
+    return Status::FailedPrecondition("empty population");
+  }
+  Rng rng(config_.seed);
+  std::vector<double> all_reports;
+  std::vector<double> reports;
+  std::vector<char> is_poison;
+  for (int round = 1; round <= config_.rounds; ++round) {
+    GenerateRound(&rng, &reports, &is_poison);
+    all_reports.insert(all_reports.end(), reports.begin(), reports.end());
+  }
+
+  // The collector knows the protocol, so the conditional report model is
+  // public knowledge; EMF needs no clean calibration sample.
+  double lo, hi;
+  ReportBounds(&lo, &hi);
+  ReportModel model;
+  ITRIM_ASSIGN_OR_RETURN(
+      model, ReportModel::Build(*mechanism_, lo, hi, /*input_bins=*/20,
+                                /*report_bins=*/40, /*samples_per_bin=*/4000,
+                                config_.seed ^ 0xE3F1ULL));
+  EmfResult fit;
+  ITRIM_ASSIGN_OR_RETURN(fit, FitEmFilter(model, all_reports, emf_config));
+
+  LdpRunResult result;
+  result.true_mean = TrueMean();
+  result.estimated_mean = fit.WeightedMean(all_reports);
+  result.emf_beta = fit.beta;
+  double err = result.estimated_mean - result.true_mean;
+  result.squared_error = err * err;
+  return result;
+}
+
+Result<LdpRunResult> LdpCollectionGame::RunUndefended() {
+  ITRIM_RETURN_NOT_OK(config_.Validate());
+  if (population_->empty()) {
+    return Status::FailedPrecondition("empty population");
+  }
+  Rng rng(config_.seed);
+  double sum = 0.0;
+  size_t count = 0;
+  std::vector<double> reports;
+  std::vector<char> is_poison;
+  for (int round = 1; round <= config_.rounds; ++round) {
+    GenerateRound(&rng, &reports, &is_poison);
+    for (double v : reports) {
+      sum += v;
+      ++count;
+    }
+  }
+  LdpRunResult result;
+  result.true_mean = TrueMean();
+  result.estimated_mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  double err = result.estimated_mean - result.true_mean;
+  result.squared_error = err * err;
+  return result;
+}
+
+}  // namespace itrim

@@ -1,0 +1,71 @@
+#include "ldp/mechanism.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace itrim {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon)
+    : epsilon_(epsilon), scale_(2.0 / epsilon) {}
+
+double LaplaceMechanism::Perturb(double x, Rng* rng) const {
+  return Clamp(x, -1.0, 1.0) + rng->Laplace(scale_);
+}
+
+DuchiMechanism::DuchiMechanism(double epsilon)
+    : epsilon_(epsilon),
+      c_((std::exp(epsilon) + 1.0) / (std::exp(epsilon) - 1.0)) {}
+
+double DuchiMechanism::Perturb(double x, Rng* rng) const {
+  x = Clamp(x, -1.0, 1.0);
+  double e = std::exp(epsilon_);
+  // P[+C] = (x (e-1) + e + 1) / (2e + 2); unbiased: E[report] = x.
+  double p_plus = (x * (e - 1.0) + e + 1.0) / (2.0 * e + 2.0);
+  return rng->Bernoulli(p_plus) ? c_ : -c_;
+}
+
+PiecewiseMechanism::PiecewiseMechanism(double epsilon)
+    : epsilon_(epsilon) {
+  double e_half = std::exp(epsilon / 2.0);
+  c_ = (e_half + 1.0) / (e_half - 1.0);
+  p_center_ = e_half / (e_half + 1.0);
+}
+
+double PiecewiseMechanism::Perturb(double x, Rng* rng) const {
+  x = Clamp(x, -1.0, 1.0);
+  // High-density band [l(x), r(x)] of width C - 1 centered on (C+1)/2 * x.
+  double l = (c_ + 1.0) / 2.0 * x - (c_ - 1.0) / 2.0;
+  double r = l + c_ - 1.0;
+  if (rng->Bernoulli(p_center_)) {
+    return rng->Uniform(l, r);
+  }
+  // Low-density tails [-C, l) and (r, C], sampled proportionally to length.
+  double left_len = l - (-c_);
+  double right_len = c_ - r;
+  double total = left_len + right_len;
+  if (total <= 0.0) return rng->Uniform(l, r);
+  if (rng->Uniform() * total < left_len) {
+    return rng->Uniform(-c_, l);
+  }
+  return rng->Uniform(r, c_);
+}
+
+Result<std::unique_ptr<LdpMechanism>> MakeMechanism(const std::string& name,
+                                                    double epsilon) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (name == "laplace") {
+    return std::unique_ptr<LdpMechanism>(new LaplaceMechanism(epsilon));
+  }
+  if (name == "duchi") {
+    return std::unique_ptr<LdpMechanism>(new DuchiMechanism(epsilon));
+  }
+  if (name == "piecewise") {
+    return std::unique_ptr<LdpMechanism>(new PiecewiseMechanism(epsilon));
+  }
+  return Status::NotFound("unknown mechanism '" + name + "'");
+}
+
+}  // namespace itrim

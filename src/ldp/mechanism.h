@@ -1,0 +1,107 @@
+// Local differential privacy mechanisms for mean estimation on [-1, 1].
+//
+// Substrate for the Section V case study and the Fig 9 experiment. Each
+// mechanism perturbs a value x in [-1, 1] into an *unbiased* report (the
+// sample mean of reports estimates the population mean), so trimming
+// operates directly on the report distribution.
+//
+// Implemented mechanisms:
+//  * Laplace   — x + Lap(2/ε) (sensitivity 2 on [-1, 1]).
+//  * Duchi     — the 1-bit mechanism of Duchi, Jordan & Wainwright: reports
+//                ±C with C = (e^ε + 1)/(e^ε - 1).
+//  * Piecewise — the Piecewise Mechanism of Wang et al. (2019): continuous
+//                reports in [-C, C], C = (e^{ε/2} + 1)/(e^{ε/2} - 1).
+#ifndef ITRIM_LDP_MECHANISM_H_
+#define ITRIM_LDP_MECHANISM_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief An ε-LDP perturbation for scalar inputs in [-1, 1].
+class LdpMechanism {
+ public:
+  virtual ~LdpMechanism() = default;
+
+  /// \brief Mechanism name ("laplace", "duchi", "piecewise").
+  virtual std::string name() const = 0;
+
+  /// \brief Privacy budget ε.
+  virtual double epsilon() const = 0;
+
+  /// \brief Perturbs a true value (clamped into [-1, 1]) into an unbiased
+  /// report.
+  virtual double Perturb(double x, Rng* rng) const = 0;
+
+  /// \brief Lower bound of the report domain (-inf if unbounded).
+  virtual double report_lo() const = 0;
+
+  /// \brief Upper bound of the report domain (+inf if unbounded).
+  virtual double report_hi() const = 0;
+};
+
+/// \brief Laplace mechanism: report = x + Lap(2/ε); unbounded reports.
+class LaplaceMechanism : public LdpMechanism {
+ public:
+  explicit LaplaceMechanism(double epsilon);
+  std::string name() const override { return "laplace"; }
+  double epsilon() const override { return epsilon_; }
+  double Perturb(double x, Rng* rng) const override;
+  double report_lo() const override {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double report_hi() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  double epsilon_;
+  double scale_;
+};
+
+/// \brief Duchi et al. 1-bit mechanism: reports ±(e^ε+1)/(e^ε-1).
+class DuchiMechanism : public LdpMechanism {
+ public:
+  explicit DuchiMechanism(double epsilon);
+  std::string name() const override { return "duchi"; }
+  double epsilon() const override { return epsilon_; }
+  double Perturb(double x, Rng* rng) const override;
+  double report_lo() const override { return -c_; }
+  double report_hi() const override { return c_; }
+  double c() const { return c_; }
+
+ private:
+  double epsilon_;
+  double c_;
+};
+
+/// \brief Piecewise Mechanism (Wang et al. 2019): continuous reports in
+/// [-C, C] concentrated around the true value.
+class PiecewiseMechanism : public LdpMechanism {
+ public:
+  explicit PiecewiseMechanism(double epsilon);
+  std::string name() const override { return "piecewise"; }
+  double epsilon() const override { return epsilon_; }
+  double Perturb(double x, Rng* rng) const override;
+  double report_lo() const override { return -c_; }
+  double report_hi() const override { return c_; }
+  double c() const { return c_; }
+
+ private:
+  double epsilon_;
+  double c_;
+  double p_center_;  ///< probability of landing in the high-density band
+};
+
+/// \brief Factory by name; returns an error for unknown mechanisms or ε <= 0.
+Result<std::unique_ptr<LdpMechanism>> MakeMechanism(const std::string& name,
+                                                    double epsilon);
+
+}  // namespace itrim
+
+#endif  // ITRIM_LDP_MECHANISM_H_

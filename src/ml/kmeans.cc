@@ -1,0 +1,135 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace itrim {
+
+namespace {
+
+// k-means++ seeding: each next center is drawn with probability
+// proportional to squared distance from the nearest existing center.
+std::vector<std::vector<double>> SeedPlusPlus(
+    const std::vector<std::vector<double>>& points, size_t k, Rng* rng) {
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng->UniformInt(points.size())]);
+  std::vector<double> dist_sq(points.size(),
+                              std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    const auto& last = centers.back();
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist_sq[i] = std::min(dist_sq[i], SquaredDistance(points[i], last));
+    }
+    size_t chosen = rng->Categorical(dist_sq);
+    if (chosen >= points.size()) {
+      // All distances zero (duplicate data): fall back to uniform choice.
+      chosen = static_cast<size_t>(rng->UniformInt(points.size()));
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+KMeansResult LloydRun(const std::vector<std::vector<double>>& points,
+                      const KMeansConfig& config, Rng* rng) {
+  const size_t n = points.size();
+  const size_t dims = points[0].size();
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, config.k, rng);
+  result.assignment.assign(n, 0);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    ++result.iterations;
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      result.assignment[i] = NearestCentroid(points[i], result.centroids);
+    }
+    // Update step.
+    std::vector<std::vector<double>> sums(config.k,
+                                          std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(config.k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      Axpy(1.0, points[i], &sums[result.assignment[i]]);
+      ++counts[result.assignment[i]];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < config.k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point to avoid collapse.
+        sums[c] = points[rng->UniformInt(n)];
+        counts[c] = 1;
+      }
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      for (double& v : sums[c]) v *= inv;
+      movement += SquaredDistance(sums[c], result.centroids[c]);
+      result.centroids[c] = std::move(sums[c]);
+    }
+    if (movement < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Final assignment + SSE.
+  result.sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.assignment[i] = NearestCentroid(points[i], result.centroids);
+    result.sse += SquaredDistance(points[i],
+                                  result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace
+
+size_t NearestCentroid(const std::vector<double>& point,
+                       const std::vector<std::vector<double>>& centroids) {
+  assert(!centroids.empty());
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    double d = SquaredDistance(point, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double EvaluateSse(const std::vector<std::vector<double>>& points,
+                   const std::vector<std::vector<double>>& centroids) {
+  double acc = 0.0;
+  for (const auto& p : points) {
+    acc += SquaredDistance(p, centroids[NearestCentroid(p, centroids)]);
+  }
+  return acc;
+}
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansConfig& config) {
+  if (points.empty()) return Status::InvalidArgument("no points");
+  if (config.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (config.k > points.size()) {
+    return Status::InvalidArgument("k exceeds the number of points");
+  }
+  for (const auto& p : points) {
+    if (p.size() != points[0].size()) {
+      return Status::InvalidArgument("ragged point matrix");
+    }
+  }
+  Rng rng(config.seed);
+  KMeansResult best;
+  best.sse = std::numeric_limits<double>::infinity();
+  int restarts = std::max(1, config.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    KMeansResult run = LloydRun(points, config, &rng);
+    if (run.sse < best.sse) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace itrim

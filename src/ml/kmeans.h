@@ -1,0 +1,53 @@
+// k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//
+// Substrate for the Fig 4/5 experiments: clustering quality of the retained
+// (sanitized) data is compared across defense schemes via SSE and centroid
+// distance to the ground-truth clustering.
+#ifndef ITRIM_ML_KMEANS_H_
+#define ITRIM_ML_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief k-means configuration.
+struct KMeansConfig {
+  size_t k = 2;
+  int max_iterations = 100;
+  double tolerance = 1e-6;  ///< stop when centroid movement^2 falls below
+  uint64_t seed = 1;
+  int restarts = 1;  ///< keep the best of this many seeded runs
+};
+
+/// \brief Clustering result.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;
+  std::vector<size_t> assignment;  ///< per input row
+  double sse = 0.0;                ///< sum of squared distances to centroids
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs k-means on row-major `points`.
+///
+/// Returns an error when points is empty, k == 0, or k > |points|.
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansConfig& config);
+
+/// \brief Index of the nearest centroid to `point`.
+size_t NearestCentroid(const std::vector<double>& point,
+                       const std::vector<std::vector<double>>& centroids);
+
+/// \brief SSE of `points` against a fixed set of centroids (each point
+/// scored against its nearest centroid). Used to evaluate a learned model
+/// on a held-out evaluation set.
+double EvaluateSse(const std::vector<std::vector<double>>& points,
+                   const std::vector<std::vector<double>>& centroids);
+
+}  // namespace itrim
+
+#endif  // ITRIM_ML_KMEANS_H_

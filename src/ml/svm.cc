@@ -1,0 +1,120 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace itrim {
+
+namespace {
+
+// Dual coordinate descent for the binary L1-loss SVM:
+//   min_w  ||w||^2/2 + C sum_i max(0, 1 - y_i w.x_i)
+// over rows with an appended bias feature of 1. Labels y in {-1, +1}.
+std::vector<double> TrainBinary(const std::vector<std::vector<double>>& rows,
+                                const std::vector<double>& y,
+                                const SvmConfig& config, Rng* rng) {
+  const size_t n = rows.size();
+  const size_t dims = rows[0].size();  // already includes bias feature
+  std::vector<double> w(dims, 0.0);
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> q_ii(n);
+  for (size_t i = 0; i < n; ++i) q_ii[i] = Dot(rows[i], rows[i]);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double max_violation = 0.0;
+    for (size_t idx : order) {
+      if (q_ii[idx] <= 0.0) continue;
+      double g = y[idx] * Dot(w, rows[idx]) - 1.0;  // gradient of dual coord
+      double pg = g;                                 // projected gradient
+      if (alpha[idx] <= 0.0) {
+        pg = std::min(g, 0.0);
+      } else if (alpha[idx] >= config.c) {
+        pg = std::max(g, 0.0);
+      }
+      max_violation = std::max(max_violation, std::fabs(pg));
+      if (pg == 0.0) continue;
+      double old_alpha = alpha[idx];
+      alpha[idx] = Clamp(old_alpha - g / q_ii[idx], 0.0, config.c);
+      double delta = (alpha[idx] - old_alpha) * y[idx];
+      if (delta != 0.0) Axpy(delta, rows[idx], &w);
+    }
+    if (max_violation < config.tolerance) break;
+  }
+  return w;
+}
+
+}  // namespace
+
+Result<LinearSvm> LinearSvm::Train(const Dataset& data,
+                                   const SvmConfig& config) {
+  if (data.rows.empty()) return Status::InvalidArgument("empty dataset");
+  if (!data.labeled()) return Status::InvalidArgument("unlabeled dataset");
+  if (config.c <= 0.0) return Status::InvalidArgument("C must be positive");
+  int max_label = 0;
+  for (int label : data.labels) {
+    if (label < 0) return Status::InvalidArgument("negative label");
+    max_label = std::max(max_label, label);
+  }
+  const size_t classes = static_cast<size_t>(max_label) + 1;
+
+  // Augment rows with a constant bias feature.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(data.rows.size());
+  for (const auto& r : data.rows) {
+    std::vector<double> row = r;
+    row.push_back(1.0);
+    rows.push_back(std::move(row));
+  }
+
+  Rng rng(config.seed);
+  LinearSvm model;
+  model.weights_.resize(classes);
+  std::vector<double> y(rows.size());
+  for (size_t c = 0; c < classes; ++c) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      y[i] = data.labels[i] == static_cast<int>(c) ? 1.0 : -1.0;
+    }
+    model.weights_[c] = TrainBinary(rows, y, config, &rng);
+  }
+  return model;
+}
+
+double LinearSvm::DecisionValue(size_t c, const std::vector<double>& row) const {
+  assert(c < weights_.size());
+  assert(row.size() + 1 == weights_[c].size());
+  double acc = weights_[c].back();  // bias
+  for (size_t j = 0; j < row.size(); ++j) acc += weights_[c][j] * row[j];
+  return acc;
+}
+
+int LinearSvm::Predict(const std::vector<double>& row) const {
+  int best = 0;
+  double best_v = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    double v = DecisionValue(c, row);
+    if (v > best_v) {
+      best_v = v;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double LinearSvm::Evaluate(const Dataset& data) const {
+  if (data.rows.empty() || !data.labeled()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    if (Predict(data.rows[i]) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.rows.size());
+}
+
+}  // namespace itrim

@@ -1,0 +1,49 @@
+// Streaming descriptive statistics (Welford) and summary helpers.
+#ifndef ITRIM_STATS_DESCRIPTIVE_H_
+#define ITRIM_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace itrim {
+
+/// \brief One-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// \brief Absorbs one observation.
+  void Add(double x);
+
+  /// \brief Absorbs every element of `xs`.
+  void AddAll(const std::vector<double>& xs);
+
+  /// \brief Merges another accumulator (parallel reduction).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  /// \brief Mean; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// \brief Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  /// \brief Sample (n-1) variance; 0 for fewer than 2 samples.
+  double sample_variance() const;
+  /// \brief Population standard deviation.
+  double stddev() const;
+  /// \brief Minimum observed; +inf when empty.
+  double min() const { return min_; }
+  /// \brief Maximum observed; -inf when empty.
+  double max() const { return max_; }
+  /// \brief Sum of observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_STATS_DESCRIPTIVE_H_

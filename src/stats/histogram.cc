@@ -1,0 +1,46 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itrim {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  assert(bins >= 1);
+  assert(lo < hi);
+}
+
+size_t Histogram::BinOf(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  size_t idx = static_cast<size_t>((x - lo_) / width_);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::Add(double x) { AddWeighted(x, 1.0); }
+
+void Histogram::AddWeighted(double x, double weight) {
+  counts_[BinOf(x)] += weight;
+  total_ += weight;
+}
+
+double Histogram::BinCenter(size_t i) const {
+  assert(i < counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::Frequencies() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  for (size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+  return out;
+}
+
+void Histogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  total_ = 0.0;
+}
+
+}  // namespace itrim

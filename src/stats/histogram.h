@@ -1,0 +1,63 @@
+// Equi-width histograms over a bounded numeric domain.
+//
+// Used by the LDP stack (frequency recovery, EMF attack-mass estimation) and
+// by quality-evaluation observables in the game core.
+#ifndef ITRIM_STATS_HISTOGRAM_H_
+#define ITRIM_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Fixed-domain equi-width histogram with out-of-range clamping.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins covering [lo, hi). Requires bins >= 1
+  /// and lo < hi.
+  Histogram(double lo, double hi, size_t bins);
+
+  /// \brief Adds one observation (clamped into the domain).
+  void Add(double x);
+
+  /// \brief Adds a weighted observation.
+  void AddWeighted(double x, double weight);
+
+  /// \brief Bin index for value `x` (clamped).
+  size_t BinOf(double x) const;
+
+  /// \brief Center value of bin `i`.
+  double BinCenter(size_t i) const;
+
+  /// \brief Raw (weighted) count of bin `i`.
+  double Count(size_t i) const { return counts_[i]; }
+
+  /// \brief Total weight added.
+  double total() const { return total_; }
+
+  /// \brief Number of bins.
+  size_t bins() const { return counts_.size(); }
+
+  /// \brief Domain bounds.
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// \brief Normalized bin frequencies (sum to 1; all-zero when empty).
+  std::vector<double> Frequencies() const;
+
+  /// \brief Resets all counts.
+  void Clear();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_STATS_HISTOGRAM_H_

@@ -1,0 +1,77 @@
+// Evaluation metrics used throughout the paper's experiments:
+// SSE and centroid distance for k-means (Fig 4/5), accuracy and the
+// PPV/FDR confusion matrix for SVM (Fig 6a/7), MSE for LDP mean estimation
+// (Fig 9).
+#ifndef ITRIM_STATS_METRICS_H_
+#define ITRIM_STATS_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Sum of squared errors between observations and predictions:
+/// SSE = sum_i (y_i - yhat_i)^2.
+double SumSquaredError(const std::vector<double>& observed,
+                       const std::vector<double>& predicted);
+
+/// \brief SSE of a clustering: sum over points of squared distance to the
+/// assigned centroid.
+double ClusteringSse(const std::vector<std::vector<double>>& points,
+                     const std::vector<std::vector<double>>& centroids,
+                     const std::vector<size_t>& assignment);
+
+/// \brief Mean squared error between two equal-length vectors.
+double MeanSquaredError(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// \brief Total Euclidean distance between two centroid sets under the
+/// minimal greedy matching (handles centroid permutation between runs).
+double CentroidSetDistance(const std::vector<std::vector<double>>& a,
+                           const std::vector<std::vector<double>>& b);
+
+/// \brief Row-normalized confusion matrix and derived statistics.
+class ConfusionMatrix {
+ public:
+  /// Creates a `classes` x `classes` zero matrix.
+  explicit ConfusionMatrix(size_t classes);
+
+  /// \brief Records one (actual, predicted) pair.
+  void Add(size_t actual, size_t predicted);
+
+  /// \brief Raw count in cell (actual, predicted).
+  size_t Count(size_t actual, size_t predicted) const;
+
+  /// \brief Overall accuracy: trace / total. Returns 0 when empty.
+  double Accuracy() const;
+
+  /// \brief Positive predictive value of class `c`
+  /// (diagonal / column sum; 0 when the class was never predicted).
+  double Ppv(size_t c) const;
+
+  /// \brief False discovery rate of class `c` (1 - PPV; 0 when unused).
+  double Fdr(size_t c) const;
+
+  /// \brief Recall of class `c` (diagonal / row sum).
+  double Recall(size_t c) const;
+
+  /// \brief Macro-averaged PPV over classes that were predicted at least once.
+  double MacroPpv() const;
+
+  /// \brief Number of classes.
+  size_t classes() const { return classes_; }
+
+  /// \brief Total observations recorded.
+  size_t total() const { return total_; }
+
+ private:
+  size_t classes_;
+  size_t total_ = 0;
+  std::vector<size_t> cells_;  // row-major [actual][predicted]
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_STATS_METRICS_H_

@@ -1,0 +1,97 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace itrim {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/itrim_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, ReadsNumericMatrix) {
+  WriteFile("1,2,3\n4,5,6\n");
+  auto result = ReadCsv(path_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_DOUBLE_EQ((*result)[0][0], 1.0);
+  EXPECT_DOUBLE_EQ((*result)[1][2], 6.0);
+}
+
+TEST_F(CsvTest, SkipsHeader) {
+  WriteFile("a,b\n1,2\n");
+  auto result = ReadCsv(path_, /*skip_header=*/true);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  WriteFile("1,2\n\n3,4\n");
+  auto result = ReadCsv(path_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST_F(CsvTest, RejectsNonNumeric) {
+  WriteFile("1,2\nx,4\n");
+  auto result = ReadCsv(path_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RejectsRaggedRows) {
+  WriteFile("1,2\n3\n");
+  auto result = ReadCsv(path_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  auto result = ReadCsv("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, RoundTripWriteRead) {
+  std::vector<std::vector<double>> rows = {{1.5, -2.0}, {0.25, 3.0}};
+  ASSERT_TRUE(WriteCsv(path_, rows, {"x", "y"}).ok());
+  auto result = ReadCsv(path_, /*skip_header=*/true);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_DOUBLE_EQ((*result)[0][0], 1.5);
+  EXPECT_DOUBLE_EQ((*result)[1][1], 3.0);
+}
+
+TEST(SplitCsvLineTest, BasicSplit) {
+  auto f = SplitCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(SplitCsvLineTest, TrailingComma) {
+  auto f = SplitCsvLine("a,b,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_TRUE(f[2].empty());
+}
+
+TEST(SplitCsvLineTest, SingleField) {
+  auto f = SplitCsvLine("42");
+  ASSERT_EQ(f.size(), 1u);
+}
+
+}  // namespace
+}  // namespace itrim

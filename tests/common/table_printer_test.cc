@@ -1,0 +1,73 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace itrim {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.BeginRow();
+  t.AddCell("alpha");
+  t.AddNumber(1.5, 2);
+  t.BeginRow();
+  t.AddCell("beta");
+  t.AddInt(42);
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"xxxxxxxxxx", "y"});
+  std::ostringstream os;
+  t.Print(os);
+  // Each line must have the same length (aligned table).
+  std::istringstream is(os.str());
+  std::string line;
+  size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, AddCellWithoutBeginRowStartsRow) {
+  TablePrinter t({"x"});
+  t.AddCell("implicit");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumberPrecision) {
+  TablePrinter t({"v"});
+  t.BeginRow();
+  t.AddNumber(3.14159, 3);
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(PrintBannerTest, ContainsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Fig 4");
+  EXPECT_NE(os.str().find("Fig 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itrim

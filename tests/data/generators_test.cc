@@ -1,0 +1,159 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/math_util.h"
+
+namespace itrim {
+namespace {
+
+TEST(ControlTest, MatchesTableII) {
+  Dataset ds = MakeControl(1);
+  EXPECT_EQ(ds.size(), 600u);     // 6 classes x 100
+  EXPECT_EQ(ds.dims(), 60u);
+  EXPECT_EQ(ds.num_clusters, 6u);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(ControlTest, SixBalancedClasses) {
+  Dataset ds = MakeControl(1);
+  std::vector<int> counts(6, 0);
+  for (int label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 6);
+    ++counts[label];
+  }
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(ControlTest, DeterministicInSeed) {
+  Dataset a = MakeControl(42), b = MakeControl(42), c = MakeControl(43);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_NE(a.rows, c.rows);
+}
+
+TEST(ControlTest, NormalizedIntoUnitRange) {
+  Dataset ds = MakeControl(7);
+  for (const auto& row : ds.rows) {
+    for (double v : row) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ControlTest, TrendClassesAreMonotoneOnAverage) {
+  Dataset ds = MakeControl(5);
+  // Class 2 = increasing trend, class 3 = decreasing; compare mean of the
+  // last third against the first third of each series.
+  double inc_gap = 0.0, dec_gap = 0.0;
+  int inc_count = 0, dec_count = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    double head = 0.0, tail = 0.0;
+    for (int t = 0; t < 20; ++t) head += ds.rows[i][t];
+    for (int t = 40; t < 60; ++t) tail += ds.rows[i][t];
+    double gap = (tail - head) / 20.0;
+    if (ds.labels[i] == 2) {
+      inc_gap += gap;
+      ++inc_count;
+    } else if (ds.labels[i] == 3) {
+      dec_gap += gap;
+      ++dec_count;
+    }
+  }
+  EXPECT_GT(inc_gap / inc_count, 0.1);
+  EXPECT_LT(dec_gap / dec_count, -0.1);
+}
+
+TEST(VehicleTest, MatchesTableII) {
+  Dataset ds = MakeVehicle(2);
+  EXPECT_EQ(ds.size(), 752u);
+  EXPECT_EQ(ds.dims(), 18u);
+  EXPECT_EQ(ds.num_clusters, 4u);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(LetterTest, MatchesTableII) {
+  Dataset ds = MakeLetter(3, 2600);  // scaled down for test speed
+  EXPECT_EQ(ds.size(), 2600u);
+  EXPECT_EQ(ds.dims(), 16u);
+  EXPECT_EQ(ds.num_clusters, 26u);
+  std::set<int> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels.size(), 26u);
+}
+
+TEST(TaxiTest, OneDimensionalNormalized) {
+  Dataset ds = MakeTaxi(4, 20000);
+  EXPECT_EQ(ds.size(), 20000u);
+  EXPECT_EQ(ds.dims(), 1u);
+  EXPECT_EQ(ds.num_clusters, 1u);
+  for (const auto& row : ds.rows) {
+    EXPECT_GE(row[0], -1.0);
+    EXPECT_LE(row[0], 1.0);
+  }
+}
+
+TEST(TaxiTest, RushHourBimodality) {
+  Dataset ds = MakeTaxi(4, 50000);
+  // More mass near the evening rush (~18.5h -> +0.54) than at 3am (-0.75).
+  int evening = 0, night = 0;
+  for (const auto& row : ds.rows) {
+    if (row[0] > 0.45 && row[0] < 0.65) ++evening;
+    if (row[0] > -0.85 && row[0] < -0.65) ++night;
+  }
+  EXPECT_GT(evening, 2 * night);
+}
+
+TEST(CreditcardTest, SkewedClassStructure) {
+  Dataset ds = MakeCreditcard(5, 5000);
+  EXPECT_EQ(ds.size(), 5000u);
+  EXPECT_EQ(ds.dims(), 31u);
+  EXPECT_EQ(ds.num_clusters, 4u);
+  std::vector<int> counts(4, 0);
+  for (int label : ds.labels) ++counts[label];
+  EXPECT_EQ(counts[0], 5000 - 21);  // bulk
+  EXPECT_EQ(counts[1], 8);          // fraud cluster
+  EXPECT_EQ(counts[2], 8);          // premium cluster
+  EXPECT_EQ(counts[3], 5);          // green segment
+}
+
+TEST(CreditcardTest, RareClassesAreOutliers) {
+  Dataset ds = MakeCreditcard(6, 4000);
+  // Compute the bulk centroid and check the rare points sit far out.
+  std::vector<std::vector<double>> bulk;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (ds.labels[i] == 0) bulk.push_back(ds.rows[i]);
+  }
+  auto center = Centroid(bulk);
+  double bulk_mean_dist = 0.0;
+  for (const auto& row : bulk) {
+    bulk_mean_dist += EuclideanDistance(row, center);
+  }
+  bulk_mean_dist /= static_cast<double>(bulk.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (ds.labels[i] == 1 || ds.labels[i] == 2) {
+      EXPECT_GT(EuclideanDistance(ds.rows[i], center), 1.5 * bulk_mean_dist);
+    }
+  }
+}
+
+TEST(MakeByNameTest, DispatchesAllNames) {
+  for (const char* name :
+       {"control", "vehicle", "letter", "taxi", "creditcard"}) {
+    auto ds = MakeByName(name, 1, 0.02);
+    ASSERT_TRUE(ds.ok()) << name;
+    EXPECT_GT(ds->size(), 0u);
+  }
+}
+
+TEST(MakeByNameTest, RejectsUnknownAndBadScale) {
+  EXPECT_FALSE(MakeByName("mnist", 1).ok());
+  EXPECT_FALSE(MakeByName("control", 1, 0.0).ok());
+  EXPECT_FALSE(MakeByName("control", 1, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace itrim

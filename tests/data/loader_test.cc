@@ -1,0 +1,98 @@
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace itrim {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/itrim_loader_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+  std::string path_;
+};
+
+TEST_F(LoaderTest, LoadsUnlabeled) {
+  WriteFile("1,2\n3,4\n5,6\n");
+  LoadOptions opts;
+  opts.normalize = false;
+  auto ds = LoadCsvDataset(path_, "test", opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_EQ(ds->dims(), 2u);
+  EXPECT_FALSE(ds->labeled());
+}
+
+TEST_F(LoaderTest, ExtractsLabelColumn) {
+  WriteFile("1,2,0\n3,4,1\n5,6,1\n");
+  LoadOptions opts;
+  opts.label_column = 2;
+  opts.normalize = false;
+  opts.num_clusters = 2;
+  auto ds = LoadCsvDataset(path_, "test", opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->dims(), 2u);
+  ASSERT_TRUE(ds->labeled());
+  EXPECT_EQ(ds->labels[0], 0);
+  EXPECT_EQ(ds->labels[2], 1);
+  EXPECT_EQ(ds->num_clusters, 2u);
+}
+
+TEST_F(LoaderTest, LabelColumnInMiddle) {
+  WriteFile("7,0,9\n8,1,10\n");
+  LoadOptions opts;
+  opts.label_column = 1;
+  opts.normalize = false;
+  auto ds = LoadCsvDataset(path_, "test", opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(ds->rows[0][0], 7.0);
+  EXPECT_DOUBLE_EQ(ds->rows[0][1], 9.0);
+  EXPECT_EQ(ds->labels[1], 1);
+}
+
+TEST_F(LoaderTest, NormalizesWhenAsked) {
+  WriteFile("0\n10\n");
+  LoadOptions opts;
+  opts.normalize = true;
+  auto ds = LoadCsvDataset(path_, "test", opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(ds->rows[0][0], -1.0);
+  EXPECT_DOUBLE_EQ(ds->rows[1][0], 1.0);
+}
+
+TEST_F(LoaderTest, HeaderSkipped) {
+  WriteFile("x,y\n1,2\n");
+  LoadOptions opts;
+  opts.has_header = true;
+  opts.normalize = false;
+  auto ds = LoadCsvDataset(path_, "test", opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 1u);
+}
+
+TEST_F(LoaderTest, RejectsOutOfRangeLabelColumn) {
+  WriteFile("1,2\n");
+  LoadOptions opts;
+  opts.label_column = 5;
+  auto ds = LoadCsvDataset(path_, "test", opts);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(LoaderTest, RejectsEmptyFile) {
+  WriteFile("");
+  auto ds = LoadCsvDataset(path_, "test", LoadOptions{});
+  EXPECT_FALSE(ds.ok());
+}
+
+}  // namespace
+}  // namespace itrim

@@ -1,0 +1,154 @@
+#include "exp/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace itrim {
+namespace {
+
+TEST(ElasticTraceTest, InitialConditionsMatchPaper) {
+  ElasticTrace trace = TraceElasticDynamics(0.5, 10);
+  EXPECT_DOUBLE_EQ(trace.collector[0], -0.03);  // T(1) = Tth - 3%
+  EXPECT_DOUBLE_EQ(trace.adversary[0], +0.01);  // A(1) = Tth + 1%
+}
+
+TEST(ElasticTraceTest, RecurrenceStepByHand) {
+  ElasticTrace trace = TraceElasticDynamics(0.5, 3);
+  // T(2) = k (A(1) - 1%) = 0.5 * 0 = 0.
+  EXPECT_DOUBLE_EQ(trace.collector[1], 0.0);
+  // A(2) = -3% + k T(1) = -0.03 - 0.015 = -0.045.
+  EXPECT_DOUBLE_EQ(trace.adversary[1], -0.045);
+  // T(3) = k (A(2) - 1%) = 0.5 * (-0.055) = -0.0275.
+  EXPECT_DOUBLE_EQ(trace.collector[2], -0.0275);
+  // A(3) = -3% + k T(2) = -0.03.
+  EXPECT_DOUBLE_EQ(trace.adversary[2], -0.03);
+}
+
+TEST(ElasticTraceTest, FixedPointFormula) {
+  for (double k : {0.1, 0.5}) {
+    ElasticTrace trace = TraceElasticDynamics(k, 5);
+    double expected = -(0.03 + 0.01 * k * k) / (1.0 - k * k);
+    EXPECT_DOUBLE_EQ(trace.fixed_point_adversary, expected);
+    EXPECT_DOUBLE_EQ(trace.fixed_point_collector, k * (expected - 0.01));
+  }
+  // Known magnitudes quoted in DESIGN.md: |A*| = 3.0404% (k=0.1),
+  // 4.3333% (k=0.5).
+  EXPECT_NEAR(TraceElasticDynamics(0.1, 2).fixed_point_adversary,
+              -0.030404, 1e-6);
+  EXPECT_NEAR(TraceElasticDynamics(0.5, 2).fixed_point_adversary,
+              -0.043333, 1e-6);
+}
+
+TEST(ElasticTraceTest, ConvergesToFixedPoint) {
+  for (double k : {0.1, 0.5}) {
+    ElasticTrace trace = TraceElasticDynamics(k, 100);
+    EXPECT_NEAR(trace.adversary.back(), trace.fixed_point_adversary, 1e-9);
+    EXPECT_NEAR(trace.collector.back(), trace.fixed_point_collector, 1e-9);
+  }
+}
+
+TEST(ElasticCostTest, DecaysAsOneOverN) {
+  // Once converged, the cumulative deviation is constant, so the roundwise
+  // cost scales as 1/Round_no — the Table IV pattern.
+  for (double k : {0.1, 0.5}) {
+    double c20 = ElasticRoundwiseCost(k, 20);
+    double c40 = ElasticRoundwiseCost(k, 40);
+    EXPECT_NEAR(c40, c20 / 2.0, 0.05 * c20) << "k=" << k;
+  }
+}
+
+TEST(ElasticCostTest, PositiveAndFinite) {
+  for (int n : {5, 10, 50}) {
+    for (double k : {0.1, 0.5}) {
+      double c = ElasticRoundwiseCost(k, n);
+      EXPECT_GT(c, 0.0);
+      EXPECT_LT(c, 0.1);
+    }
+  }
+}
+
+TEST(KmeansExperimentTest, SmallRunProducesAllSeries) {
+  KmeansExperimentConfig config;
+  config.dataset = "control";
+  config.attack_ratios = {0.0, 0.3};
+  config.repetitions = 1;
+  config.rounds = 5;
+  config.round_size = 100;
+  config.eval_size = 200;
+  auto result = RunKmeansExperiment(config).ValueOrDie();
+  EXPECT_GT(result.groundtruth_sse, 0.0);
+  ASSERT_EQ(result.series.size(), 6u);
+  for (const auto& series : result.series) {
+    ASSERT_EQ(series.points.size(), 2u) << series.scheme;
+    for (const auto& p : series.points) {
+      EXPECT_TRUE(std::isfinite(p.sse));
+      EXPECT_TRUE(std::isfinite(p.distance));
+      EXPECT_GT(p.sse, 0.0);
+    }
+  }
+}
+
+TEST(KmeansExperimentTest, OstrichDegradesWithHeavyAttack) {
+  KmeansExperimentConfig config;
+  config.dataset = "control";
+  config.attack_ratios = {0.0, 0.5};
+  config.repetitions = 2;
+  config.rounds = 8;
+  config.round_size = 120;
+  auto result = RunKmeansExperiment(config).ValueOrDie();
+  const KmeansSeries* ostrich = nullptr;
+  for (const auto& s : result.series) {
+    if (s.scheme == "Ostrich") ostrich = &s;
+  }
+  ASSERT_NE(ostrich, nullptr);
+  // Centroid distance must grow with the attack ratio for Ostrich.
+  EXPECT_GT(ostrich->points[1].distance, ostrich->points[0].distance);
+}
+
+TEST(KmeansExperimentTest, RejectsUnknownDataset) {
+  KmeansExperimentConfig config;
+  config.dataset = "imagenet";
+  config.attack_ratios = {0.1};
+  EXPECT_FALSE(RunKmeansExperiment(config).ok());
+}
+
+TEST(NonEquilibriumTest, TerminationTrendsDownInP) {
+  NonEquilibriumConfig config;
+  config.repetitions = 6;
+  config.round_size = 600;
+  auto rows = RunNonEquilibriumExperiment(config, {0.0, 1.0}).ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  // p = 0 never triggers (threshold 1.05 unreachable).
+  EXPECT_NEAR(rows[0].avg_termination_round, config.rounds, 1e-9);
+  // p = 1 terminates earlier on average.
+  EXPECT_LT(rows[1].avg_termination_round, config.rounds);
+  // Untrimmed poison proportions are meaningful fractions.
+  for (const auto& r : rows) {
+    EXPECT_GE(r.titfortat_untrimmed, 0.0);
+    EXPECT_LE(r.titfortat_untrimmed, 0.35);
+    EXPECT_GE(r.elastic_untrimmed, 0.0);
+    EXPECT_LE(r.elastic_untrimmed, 0.35);
+  }
+}
+
+TEST(LdpExperimentTest, SmallSweepProducesSeries) {
+  LdpExperimentConfig config;
+  config.population_size = 5000;
+  config.epsilons = {1.0, 3.0};
+  config.repetitions = 1;
+  config.rounds = 3;
+  config.users_per_round = 500;
+  auto result = RunLdpExperiment(config).ValueOrDie();
+  ASSERT_EQ(result.series.size(), 4u);  // Titfortat, Elastic x2, EMF
+  for (const auto& s : result.series) {
+    ASSERT_EQ(s.mse.size(), 2u) << s.scheme;
+    for (double mse : s.mse) {
+      EXPECT_TRUE(std::isfinite(mse));
+      EXPECT_GE(mse, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itrim

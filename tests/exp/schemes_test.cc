@@ -1,0 +1,88 @@
+#include "exp/schemes.h"
+
+#include <gtest/gtest.h>
+
+namespace itrim {
+namespace {
+
+TEST(SchemeNameTest, AllNamesMatchPaperLegend) {
+  EXPECT_EQ(SchemeName(SchemeId::kGroundtruth), "Groundtruth");
+  EXPECT_EQ(SchemeName(SchemeId::kOstrich), "Ostrich");
+  EXPECT_EQ(SchemeName(SchemeId::kBaseline09), "Baseline0.9");
+  EXPECT_EQ(SchemeName(SchemeId::kBaselineStatic), "Baselinestatic");
+  EXPECT_EQ(SchemeName(SchemeId::kTitfortat), "Titfortat");
+  EXPECT_EQ(SchemeName(SchemeId::kElastic01), "Elastic0.1");
+  EXPECT_EQ(SchemeName(SchemeId::kElastic05), "Elastic0.5");
+}
+
+TEST(PlottedSchemesTest, SixSchemesInLegendOrder) {
+  auto schemes = PlottedSchemes();
+  ASSERT_EQ(schemes.size(), 6u);
+  EXPECT_EQ(schemes.front(), SchemeId::kOstrich);
+  EXPECT_EQ(schemes.back(), SchemeId::kElastic05);
+}
+
+TEST(MakeSchemeTest, AllSchemesConstruct) {
+  for (SchemeId id : PlottedSchemes()) {
+    SchemeInstance s = MakeScheme(id, 0.9);
+    EXPECT_NE(s.collector, nullptr) << s.name;
+    EXPECT_NE(s.adversary, nullptr) << s.name;
+    EXPECT_EQ(s.name, SchemeName(id));
+  }
+}
+
+TEST(MakeSchemeTest, OstrichNeverTrims) {
+  SchemeInstance s = MakeScheme(SchemeId::kOstrich, 0.9);
+  RoundContext ctx;
+  ctx.tth = 0.9;
+  EXPECT_GE(s.collector->TrimPercentile(ctx), 1.0);
+}
+
+TEST(MakeSchemeTest, BaselineStaticUsesTth) {
+  SchemeInstance s = MakeScheme(SchemeId::kBaselineStatic, 0.95);
+  RoundContext ctx;
+  ctx.tth = 0.95;
+  EXPECT_DOUBLE_EQ(s.collector->TrimPercentile(ctx), 0.95);
+  // Its adversary plays just below the threshold.
+  Rng rng(1);
+  EXPECT_NEAR(s.adversary->InjectionPercentile(ctx, &rng), 0.94, 1e-12);
+}
+
+TEST(MakeSchemeTest, Baseline09FixedAtNinety) {
+  SchemeInstance s = MakeScheme(SchemeId::kBaseline09, 0.97);
+  RoundContext ctx;
+  ctx.tth = 0.97;
+  EXPECT_DOUBLE_EQ(s.collector->TrimPercentile(ctx), 0.9);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    double a = s.adversary->InjectionPercentile(ctx, &rng);
+    EXPECT_GE(a, 0.9);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(MakeSchemeTest, TitfortatHasQualityAndNoDefaultTrigger) {
+  SchemeInstance s = MakeScheme(SchemeId::kTitfortat, 0.9);
+  EXPECT_NE(s.quality, nullptr);
+  // Default options: never triggers (Fig 4/5 assumption).
+  s.collector->Observe(RoundObservation{1, 0.91, 0.99, 0.0, 100, 90});
+  EXPECT_EQ(s.collector->termination_round(), 0);
+}
+
+TEST(MakeSchemeTest, TitfortatCustomTrigger) {
+  SchemeOptions opts;
+  opts.titfortat_trigger_quality = 0.5;
+  SchemeInstance s = MakeScheme(SchemeId::kTitfortat, 0.9, opts);
+  s.collector->Observe(RoundObservation{3, 0.91, 0.99, 0.2, 100, 90});
+  EXPECT_EQ(s.collector->termination_round(), 3);
+}
+
+TEST(MakeSchemeTest, ElasticPairUsesMatchingK) {
+  SchemeInstance s01 = MakeScheme(SchemeId::kElastic01, 0.9);
+  SchemeInstance s05 = MakeScheme(SchemeId::kElastic05, 0.9);
+  EXPECT_EQ(s01.collector->name(), "Elastic0.1");
+  EXPECT_EQ(s05.collector->name(), "Elastic0.5");
+}
+
+}  // namespace
+}  // namespace itrim

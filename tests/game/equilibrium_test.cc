@@ -1,0 +1,122 @@
+#include "game/equilibrium.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace itrim {
+namespace {
+
+TEST(ComplianceSettingTest, Validation) {
+  ComplianceSetting s{1.0, 0.1, 0.9, 0.5};
+  EXPECT_TRUE(s.Validate().ok());
+  s.d = 1.0;
+  EXPECT_FALSE(s.Validate().ok());
+  s.d = 0.9;
+  s.p = 1.5;
+  EXPECT_FALSE(s.Validate().ok());
+  s.p = 0.5;
+  s.g_ac = 0.0;
+  EXPECT_FALSE(s.Validate().ok());
+  s.g_ac = 1.0;
+  s.delta = -0.1;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(ComplianceValueTest, ClosedForms) {
+  ComplianceSetting s{2.0, 0.5, 0.9, 0.5};
+  // g_com = (g_ac - delta) / (1 - d) = 1.5 / 0.1 = 15.
+  EXPECT_NEAR(ComplianceValue(s), 15.0, 1e-12);
+  // g_def = g_ac / (1 - d p) = 2 / 0.55.
+  EXPECT_NEAR(DefectionValue(s), 2.0 / 0.55, 1e-12);
+}
+
+TEST(Theorem3Test, BoundaryFormula) {
+  // delta* = (d - dp)/(1 - dp) g_ac.
+  EXPECT_NEAR(MaxSustainableCompromise(1.0, 0.9, 0.5),
+              (0.9 - 0.45) / (1.0 - 0.45), 1e-12);
+}
+
+TEST(Theorem3Test, ComplianceIffDeltaBelowBoundary) {
+  double g_ac = 3.0, d = 0.95, p = 0.4;
+  double boundary = MaxSustainableCompromise(g_ac, d, p);
+  ComplianceSetting below{g_ac, boundary * 0.99, d, p};
+  ComplianceSetting above{g_ac, boundary * 1.01, d, p};
+  EXPECT_TRUE(AdversaryComplies(below));
+  EXPECT_FALSE(AdversaryComplies(above));
+}
+
+TEST(Theorem3Test, ComplianceEquivalentToValueComparison) {
+  // delta < delta* must coincide with g_com > g_def (the theorem's proof).
+  for (double d : {0.5, 0.8, 0.95}) {
+    for (double p : {0.0, 0.3, 0.7, 0.99}) {
+      for (double delta : {0.0, 0.1, 0.5, 0.9}) {
+        ComplianceSetting s{1.0, delta, d, p};
+        bool by_boundary = AdversaryComplies(s);
+        bool by_values = ComplianceValue(s) > DefectionValue(s);
+        EXPECT_EQ(by_boundary, by_values)
+            << "d=" << d << " p=" << p << " delta=" << delta;
+      }
+    }
+  }
+}
+
+TEST(Theorem3Test, PerfectEvasionForcesDefection) {
+  // p = 1: the defector is never flagged, so no positive compromise
+  // sustains compliance (boundary = 0).
+  EXPECT_DOUBLE_EQ(MaxSustainableCompromise(1.0, 0.9, 1.0), 0.0);
+  ComplianceSetting s{1.0, 0.01, 0.9, 1.0};
+  EXPECT_FALSE(AdversaryComplies(s));
+}
+
+TEST(Theorem3Test, CertainDetectionMaximizesBoundary) {
+  // p = 0: boundary = d * g_ac, the largest possible compromise.
+  EXPECT_NEAR(MaxSustainableCompromise(2.0, 0.9, 0.0), 1.8, 1e-12);
+}
+
+TEST(Theorem3Test, BoundaryMonotoneDecreasingInP) {
+  double prev = MaxSustainableCompromise(1.0, 0.9, 0.0);
+  for (double p = 0.1; p <= 1.0; p += 0.1) {
+    double cur = MaxSustainableCompromise(1.0, 0.9, p);
+    EXPECT_LT(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(SimulateDefectionTest, MatchesClosedForm) {
+  Rng rng(17);
+  for (double p : {0.0, 0.3, 0.6, 0.9}) {
+    ComplianceSetting s{1.0, 0.0, 0.9, p};
+    double simulated = SimulateDefectionValue(s, 20000, &rng);
+    EXPECT_NEAR(simulated, DefectionValue(s), 0.05 * DefectionValue(s))
+        << "p=" << p;
+  }
+}
+
+TEST(TitfortatCompromiseBoundaryTest, UsesSymmetricGain) {
+  UltimatumGame game(PayoffParams{10.0, 6.0, 1.0, 0.5});
+  double d = 0.9, p = 0.5;
+  double expected =
+      MaxSustainableCompromise(game.SymmetricCooperationGain(), d, p);
+  EXPECT_DOUBLE_EQ(TitfortatCompromiseBoundary(game, d, p), expected);
+}
+
+// Parameterized sweep of the compliance condition as a property:
+// raising the discount d always helps cooperation.
+class DiscountSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscountSweepTest, BoundaryIncreasesWithDiscount) {
+  double p = GetParam();
+  double prev = -1.0;
+  for (double d = 0.1; d < 1.0; d += 0.1) {
+    double boundary = MaxSustainableCompromise(1.0, d, p);
+    EXPECT_GT(boundary, prev) << "d=" << d << " p=" << p;
+    prev = boundary;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(JudgmentProbabilities, DiscountSweepTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 0.95));
+
+}  // namespace
+}  // namespace itrim

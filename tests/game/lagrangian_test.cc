@@ -1,0 +1,189 @@
+#include "game/lagrangian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace itrim {
+namespace {
+
+TEST(FreePotentialTest, Theorem1ConstantVelocity) {
+  // Equilibrium state: U = 0, so both utilities evolve at constant rates.
+  FreePotential potential;
+  GameLagrangian lagrangian(1.0, 2.0, &potential);
+  EulerLagrangeIntegrator integrator(&lagrangian);
+  GameState initial{0.0, 1.0, 0.5, -0.25};
+  auto traj = integrator.Integrate(initial, 0.01, 1000);
+  for (const auto& pt : traj) {
+    EXPECT_NEAR(pt.state.v_a, 0.5, 1e-10);
+    EXPECT_NEAR(pt.state.v_c, -0.25, 1e-10);
+    // u(r) = u0 + v r.
+    EXPECT_NEAR(pt.state.u_a, 0.0 + 0.5 * pt.r, 1e-9);
+    EXPECT_NEAR(pt.state.u_c, 1.0 - 0.25 * pt.r, 1e-9);
+  }
+}
+
+TEST(FreePotentialTest, Theorem2LagrangianIsQuadraticInVelocity) {
+  FreePotential potential;
+  GameLagrangian lagrangian(3.0, 5.0, &potential);
+  GameState s{7.0, -2.0, 1.5, 0.5};
+  // L = m_a v_a^2/2 + m_c v_c^2/2, independent of positions.
+  EXPECT_DOUBLE_EQ(lagrangian.Evaluate(s),
+                   0.5 * 3.0 * 1.5 * 1.5 + 0.5 * 5.0 * 0.5 * 0.5);
+  GameState shifted = s;
+  shifted.u_a += 100.0;
+  shifted.u_c -= 50.0;
+  EXPECT_DOUBLE_EQ(lagrangian.Evaluate(shifted), lagrangian.Evaluate(s));
+}
+
+TEST(ElasticPotentialTest, EnergyAndGradients) {
+  ElasticPotential potential(2.0);
+  EXPECT_DOUBLE_EQ(potential.Energy(3.0, 1.0), 0.5 * 2.0 * 4.0);
+  EXPECT_DOUBLE_EQ(potential.GradA(3.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(potential.GradC(3.0, 1.0), -4.0);
+  // Translation invariance: only the relative coordinate matters.
+  EXPECT_DOUBLE_EQ(potential.Energy(13.0, 11.0), potential.Energy(3.0, 1.0));
+}
+
+TEST(ElasticTest, Equation14AccelerationForm) {
+  // m_a u-dd_a = -k (u_a - u_c); m_c u-dd_c = +k (u_a - u_c).
+  ElasticPotential potential(3.0);
+  GameLagrangian lagrangian(2.0, 4.0, &potential);
+  GameState s{1.0, 0.0, 0.0, 0.0};
+  double a_a, a_c;
+  lagrangian.Accelerations(s, &a_a, &a_c);
+  EXPECT_DOUBLE_EQ(a_a, -3.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(a_c, +3.0 * 1.0 / 4.0);
+}
+
+TEST(Theorem4Test, RelativeUtilityOscillates) {
+  // The relative utility w = u_a - u_c must follow A cos(w r + phi).
+  const double m_a = 1.0, m_c = 1.0, k = 4.0;
+  ElasticPotential potential(k);
+  GameLagrangian lagrangian(m_a, m_c, &potential);
+  EulerLagrangeIntegrator integrator(&lagrangian);
+  GameState initial{0.5, -0.5, 0.0, 0.0};
+  auto solution = SolveElasticOscillator(m_a, m_c, k, initial).ValueOrDie();
+  // Reduced mass 0.5 -> omega = sqrt(4 / 0.5) = sqrt(8).
+  EXPECT_NEAR(solution.omega, std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(solution.amplitude, 1.0, 1e-12);
+
+  auto traj = integrator.Integrate(initial, 0.001, 5000);
+  for (size_t i = 0; i < traj.size(); i += 250) {
+    double w = traj[i].state.u_a - traj[i].state.u_c;
+    EXPECT_NEAR(w, solution.Relative(traj[i].r), 1e-5) << "r=" << traj[i].r;
+  }
+}
+
+TEST(Theorem4Test, PeriodMatchesReducedMass) {
+  auto solution =
+      SolveElasticOscillator(2.0, 3.0, 5.0, GameState{1.0, 0.0, 0.0, 0.0})
+          .ValueOrDie();
+  double mu = 2.0 * 3.0 / 5.0;
+  EXPECT_NEAR(solution.period, 2.0 * M_PI / std::sqrt(5.0 / mu), 1e-12);
+}
+
+TEST(Theorem4Test, NonzeroInitialVelocityPhase) {
+  GameState initial{0.0, 0.0, 1.0, -1.0};  // w0 = 0, wdot0 = 2
+  auto solution = SolveElasticOscillator(1.0, 1.0, 1.0, initial).ValueOrDie();
+  // w(0) must be 0 and w'(0) = 2.
+  EXPECT_NEAR(solution.Relative(0.0), 0.0, 1e-12);
+  double h = 1e-7;
+  double wdot0 = (solution.Relative(h) - solution.Relative(-h)) / (2.0 * h);
+  EXPECT_NEAR(wdot0, 2.0, 1e-4);
+}
+
+TEST(SolveElasticOscillatorTest, RejectsBadParameters) {
+  GameState s;
+  EXPECT_FALSE(SolveElasticOscillator(-1.0, 1.0, 1.0, s).ok());
+  EXPECT_FALSE(SolveElasticOscillator(1.0, 1.0, 0.0, s).ok());
+  EXPECT_FALSE(SolveElasticOscillator(1.0, 0.0, 1.0, s).ok());
+}
+
+TEST(EnergyConservationTest, RK4ConservesEnergy) {
+  ElasticPotential potential(2.5);
+  GameLagrangian lagrangian(1.0, 2.0, &potential);
+  EulerLagrangeIntegrator integrator(&lagrangian);
+  GameState initial{1.0, -1.0, 0.3, 0.1};
+  auto traj = integrator.Integrate(initial, 0.01, 2000);
+  double e0 = lagrangian.Energy(traj.front().state);
+  for (const auto& pt : traj) {
+    EXPECT_NEAR(lagrangian.Energy(pt.state), e0, 1e-6);
+  }
+}
+
+TEST(ActionTest, LeastActionPrinciple) {
+  // Axiom 1: the physical trajectory minimizes the action among nearby
+  // paths with the same endpoints. Perturb the true free-particle path by a
+  // sine bump that vanishes at both ends; the action must increase.
+  FreePotential potential;
+  GameLagrangian lagrangian(1.0, 1.0, &potential);
+  EulerLagrangeIntegrator integrator(&lagrangian);
+  GameState initial{0.0, 0.0, 1.0, -1.0};
+  const double dr = 0.01;
+  const int steps = 200;
+  auto traj = integrator.Integrate(initial, dr, steps);
+  double s_true = Action(lagrangian, traj);
+
+  for (double amplitude : {0.05, 0.2, 0.5}) {
+    auto perturbed = traj;
+    double total_r = dr * steps;
+    for (auto& pt : perturbed) {
+      double bump = amplitude * std::sin(M_PI * pt.r / total_r);
+      double bump_dot = amplitude * M_PI / total_r *
+                        std::cos(M_PI * pt.r / total_r);
+      pt.state.u_a += bump;
+      pt.state.v_a += bump_dot;
+    }
+    EXPECT_GT(Action(lagrangian, perturbed), s_true)
+        << "amplitude=" << amplitude;
+  }
+}
+
+TEST(ActionTest, EmptyAndSingleton) {
+  FreePotential potential;
+  GameLagrangian lagrangian(1.0, 1.0, &potential);
+  EXPECT_DOUBLE_EQ(Action(lagrangian, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Action(lagrangian, {{0.0, GameState{}}}), 0.0);
+}
+
+// Property sweep: for any spring constant, the measured oscillation period
+// of the integrated system matches the analytic 2*pi/omega.
+class OscillatorSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OscillatorSweepTest, MeasuredPeriodMatchesAnalytic) {
+  const double k = GetParam();
+  ElasticPotential potential(k);
+  GameLagrangian lagrangian(1.0, 1.0, &potential);
+  EulerLagrangeIntegrator integrator(&lagrangian);
+  GameState initial{1.0, -1.0, 0.0, 0.0};
+  auto solution = SolveElasticOscillator(1.0, 1.0, k, initial).ValueOrDie();
+  const double dr = solution.period / 2000.0;
+  auto traj = integrator.Integrate(initial, dr, 4000);  // two periods
+  // Find the first two downward zero crossings of w(r).
+  double first = -1.0, second = -1.0;
+  for (size_t i = 1; i < traj.size(); ++i) {
+    double w_prev = traj[i - 1].state.u_a - traj[i - 1].state.u_c;
+    double w_cur = traj[i].state.u_a - traj[i].state.u_c;
+    if (w_prev > 0.0 && w_cur <= 0.0) {
+      double t = traj[i - 1].r +
+                 dr * w_prev / (w_prev - w_cur);  // linear interpolation
+      if (first < 0.0) {
+        first = t;
+      } else {
+        second = t;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(second, 0.0);
+  EXPECT_NEAR(second - first, solution.period, solution.period * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(SpringConstants, OscillatorSweepTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace itrim

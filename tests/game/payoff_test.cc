@@ -1,0 +1,120 @@
+#include "game/payoff.h"
+
+#include <gtest/gtest.h>
+
+namespace itrim {
+namespace {
+
+PayoffParams DefaultParams() { return PayoffParams{10.0, 6.0, 1.0, 0.5}; }
+
+TEST(PayoffParamsTest, DefaultOrderingValid) {
+  EXPECT_TRUE(DefaultParams().Validate().ok());
+}
+
+TEST(PayoffParamsTest, RejectsViolatedOrdering) {
+  PayoffParams p = DefaultParams();
+  p.t_soft = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = DefaultParams();
+  p.p_soft = 0.1;  // P < T
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = DefaultParams();
+  p.t_hard = 0.9;  // T-bar < P
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = DefaultParams();
+  p.p_hard = 5.0;  // P-bar < T-bar
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(UltimatumGameTest, PayoffCellsMatchTableI) {
+  UltimatumGame game(DefaultParams());
+  // (Collector soft, Adversary soft): (-P - T, P).
+  PayoffPair ss = game.Payoff(Stance::kSoft, Stance::kSoft);
+  EXPECT_DOUBLE_EQ(ss.collector, -1.5);
+  EXPECT_DOUBLE_EQ(ss.adversary, 1.0);
+  // (Soft, Hard): (-P-bar - T, P-bar).
+  PayoffPair sh = game.Payoff(Stance::kSoft, Stance::kHard);
+  EXPECT_DOUBLE_EQ(sh.collector, -10.5);
+  EXPECT_DOUBLE_EQ(sh.adversary, 10.0);
+  // (Hard, *): (-T-bar, 0).
+  PayoffPair hs = game.Payoff(Stance::kHard, Stance::kSoft);
+  PayoffPair hh = game.Payoff(Stance::kHard, Stance::kHard);
+  EXPECT_DOUBLE_EQ(hs.collector, -6.0);
+  EXPECT_DOUBLE_EQ(hs.adversary, 0.0);
+  EXPECT_EQ(hs, hh);
+}
+
+TEST(UltimatumGameTest, HardHardIsEquilibrium) {
+  UltimatumGame game(DefaultParams());
+  auto eqs = game.PureNashEquilibria();
+  bool found = false;
+  for (auto& [c, a] : eqs) {
+    if (c == Stance::kHard && a == Stance::kHard) found = true;
+    // (Soft, Soft) must NOT be an equilibrium: the adversary deviates to
+    // Hard against a soft collector.
+    EXPECT_FALSE(c == Stance::kSoft && a == Stance::kSoft);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(UltimatumGameTest, PrisonersDilemmaStructure) {
+  UltimatumGame game(DefaultParams());
+  EXPECT_TRUE(game.HasPrisonersDilemmaStructure());
+  // (Soft, Soft) Pareto-dominates (Hard, Hard).
+  PayoffPair ss = game.Payoff(Stance::kSoft, Stance::kSoft);
+  PayoffPair hh = game.Payoff(Stance::kHard, Stance::kHard);
+  EXPECT_GT(ss.collector, hh.collector);
+  EXPECT_GT(ss.adversary, hh.adversary);
+}
+
+TEST(UltimatumGameTest, CooperationGains) {
+  UltimatumGame game(DefaultParams());
+  // g_c = T-bar - P - T = 6 - 1 - 0.5 = 4.5; g_a = P = 1.
+  EXPECT_DOUBLE_EQ(game.CollectorCooperationGain(), 4.5);
+  EXPECT_DOUBLE_EQ(game.AdversaryCooperationGain(), 1.0);
+  EXPECT_DOUBLE_EQ(game.SymmetricCooperationGain(), 2.75);
+}
+
+TEST(UltimatumGameTest, CooperationGainsPositiveUnderOrdering) {
+  // Whenever P-bar > T-bar > P > T > 0, cooperation benefits both sides.
+  for (double scale : {0.1, 1.0, 50.0}) {
+    PayoffParams p{10.0 * scale, 6.0 * scale, 1.0 * scale, 0.5 * scale};
+    UltimatumGame game(p);
+    EXPECT_GT(game.CollectorCooperationGain(), 0.0);
+    EXPECT_GT(game.AdversaryCooperationGain(), 0.0);
+  }
+}
+
+TEST(StanceNameTest, Names) {
+  EXPECT_EQ(StanceName(Stance::kSoft), "Soft");
+  EXPECT_EQ(StanceName(Stance::kHard), "Hard");
+}
+
+// Property sweep: the (Hard, Hard) equilibrium and PD structure hold across
+// the whole parameter ordering, not just the default instance.
+class PayoffSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PayoffSweepTest, EquilibriumRobustAcrossParameters) {
+  auto [p_hard, t_hard] = GetParam();
+  PayoffParams p;
+  p.p_hard = p_hard;
+  p.t_hard = t_hard;
+  p.p_soft = t_hard / 3.0;
+  p.t_soft = t_hard / 10.0;
+  ASSERT_TRUE(p.Validate().ok());
+  UltimatumGame game(p);
+  EXPECT_TRUE(game.HasPrisonersDilemmaStructure());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orderings, PayoffSweepTest,
+    ::testing::Values(std::make_tuple(10.0, 6.0), std::make_tuple(100.0, 6.0),
+                      std::make_tuple(7.0, 6.5), std::make_tuple(1000.0, 30.0),
+                      std::make_tuple(2.0, 1.5)));
+
+}  // namespace
+}  // namespace itrim

@@ -1,0 +1,121 @@
+#include "game/position_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace itrim {
+namespace {
+
+std::vector<std::vector<double>> GaussianSample(size_t n, size_t dims,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(dims);
+    for (auto& v : row) v = rng.Normal();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(PositionMapTest, ValidatesInput) {
+  EXPECT_FALSE(PositionMap::Build({}).ok());
+  EXPECT_FALSE(PositionMap::Build({{1.0}}).ok());
+  EXPECT_FALSE(PositionMap::Build({{1.0}, {1.0, 2.0}}).ok());
+  // Constant sample: no spread around the centroid.
+  EXPECT_FALSE(PositionMap::Build({{1.0, 1.0}, {1.0, 1.0}}).ok());
+}
+
+TEST(PositionMapTest, DistanceIsMonotoneInPosition) {
+  auto map = PositionMap::Build(GaussianSample(2000, 8, 1)).ValueOrDie();
+  double prev = -1.0;
+  for (double a = 0.0; a <= 1.3; a += 0.01) {
+    double d = map.DistanceAt(a);
+    EXPECT_GE(d, prev) << "a=" << a;
+    prev = d;
+  }
+}
+
+TEST(PositionMapTest, RoundTripPositionDistance) {
+  auto map = PositionMap::Build(GaussianSample(2000, 8, 2)).ValueOrDie();
+  for (double a : {0.55, 0.7, 0.85, 0.9, 0.95, 0.99, 1.0, 1.1}) {
+    EXPECT_NEAR(map.PositionOf(map.DistanceAt(a)), a, 0.006) << "a=" << a;
+  }
+}
+
+TEST(PositionMapTest, MakePointHasRequestedPosition) {
+  auto map = PositionMap::Build(GaussianSample(2000, 8, 3)).ValueOrDie();
+  Rng rng(4);
+  auto dir = rng.UnitVector(8);
+  for (double a : {0.87, 0.9, 0.99}) {
+    auto point = map.MakePoint(a, dir);
+    EXPECT_NEAR(map.PositionOfRow(point), a, 0.006) << "a=" << a;
+  }
+}
+
+TEST(PositionMapTest, ExtrapolatesBeyondDomain) {
+  auto map = PositionMap::Build(GaussianSample(2000, 8, 5)).ValueOrDie();
+  double d1 = map.DistanceAt(1.0);
+  EXPECT_NEAR(map.DistanceAt(1.5), 1.5 * d1, 1e-9);
+  EXPECT_NEAR(map.PositionOf(2.0 * d1), 2.0, 1e-9);
+}
+
+TEST(PositionMapTest, ShrinksTowardCentroid) {
+  auto map = PositionMap::Build(GaussianSample(2000, 8, 6)).ValueOrDie();
+  EXPECT_NEAR(map.DistanceAt(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(map.PositionOfRow(map.centroid()), 0.0, 1e-9);
+}
+
+TEST(PositionMapTest, ControlGeometryMatchesProbe) {
+  // The calibration facts DESIGN.md relies on: benign loss at threshold
+  // T = 0.9 is ~12%, and ~0 at T >= 0.95 (Fig 4 vs Fig 5 overhead).
+  Dataset control = MakeControl(21);
+  auto map = PositionMap::Build(control.rows).ValueOrDie();
+  size_t above_90 = 0, above_95 = 0;
+  for (const auto& row : control.rows) {
+    double pos = map.PositionOfRow(row);
+    if (pos > 0.90) ++above_90;
+    if (pos > 0.95) ++above_95;
+  }
+  double frac_90 = static_cast<double>(above_90) / control.size();
+  double frac_95 = static_cast<double>(above_95) / control.size();
+  EXPECT_NEAR(frac_90, 0.12, 0.05);
+  EXPECT_LT(frac_95, 0.01);
+}
+
+TEST(PositionMapTest, DamageGapBetweenPositions) {
+  // Poison at position 0.99 must be much farther out than at 0.87 — the
+  // damage gap behind the Ostrich-vs-defenses ordering.
+  Dataset control = MakeControl(22);
+  auto map = PositionMap::Build(control.rows).ValueOrDie();
+  EXPECT_GT(map.DistanceAt(0.99), 1.5 * map.DistanceAt(0.87));
+}
+
+// Property sweep: the map stays consistent across datasets.
+class PositionMapDatasetTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PositionMapDatasetTest, InverseConsistency) {
+  auto data = MakeByName(GetParam(), 7, 0.1).ValueOrDie();
+  auto map = PositionMap::Build(data.rows).ValueOrDie();
+  for (double a : {0.6, 0.8, 0.9, 0.99}) {
+    EXPECT_NEAR(map.PositionOf(map.DistanceAt(a)), a, 0.01)
+        << GetParam() << " a=" << a;
+  }
+  // Benign rows score mostly below 1 (within the observed domain).
+  size_t above_one = 0;
+  for (const auto& row : data.rows) {
+    if (map.PositionOfRow(row) > 1.0) ++above_one;
+  }
+  EXPECT_LT(static_cast<double>(above_one) / data.size(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PositionMapDatasetTest,
+                         ::testing::Values("control", "vehicle", "letter",
+                                           "creditcard"));
+
+}  // namespace
+}  // namespace itrim

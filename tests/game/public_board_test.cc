@@ -1,0 +1,83 @@
+#include "game/public_board.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace itrim {
+namespace {
+
+TEST(PublicBoardTest, EmptyQuantileFails) {
+  PublicBoard board;
+  EXPECT_FALSE(board.Quantile(0.5).ok());
+  EXPECT_EQ(board.Quantile(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PublicBoardTest, RecordsAndQueries) {
+  PublicBoard board;
+  board.Record({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(board.size(), 4u);
+  EXPECT_EQ(board.total_recorded(), 4u);
+  EXPECT_DOUBLE_EQ(board.Quantile(0.5).ValueOrDie(), 2.5);
+}
+
+TEST(PublicBoardTest, PercentileRank) {
+  PublicBoard board;
+  board.Record({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(board.PercentileRank(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(board.PercentileRank(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(board.PercentileRank(10.0), 1.0);
+}
+
+TEST(PublicBoardTest, QuantileUpdatesWithNewData) {
+  PublicBoard board;
+  board.Record({0.0, 1.0});
+  double q_before = board.Quantile(0.9).ValueOrDie();
+  board.Record({10.0, 11.0, 12.0});
+  double q_after = board.Quantile(0.9).ValueOrDie();
+  EXPECT_GT(q_after, q_before);
+}
+
+TEST(PublicBoardTest, CapacityBoundsMemory) {
+  PublicBoard board(100, 1);
+  for (int i = 0; i < 10000; ++i) board.RecordOne(static_cast<double>(i));
+  EXPECT_EQ(board.size(), 100u);
+  EXPECT_EQ(board.total_recorded(), 10000u);
+}
+
+TEST(PublicBoardTest, ReservoirIsApproximatelyUnbiased) {
+  // With uniform input, the capped board's median should track the stream
+  // median.
+  PublicBoard board(500, 2);
+  Rng rng(9);
+  for (int i = 0; i < 50000; ++i) board.RecordOne(rng.Uniform());
+  EXPECT_NEAR(board.Quantile(0.5).ValueOrDie(), 0.5, 0.08);
+  EXPECT_NEAR(board.Quantile(0.9).ValueOrDie(), 0.9, 0.08);
+}
+
+TEST(PublicBoardTest, ClearResets) {
+  PublicBoard board;
+  board.Record({1.0, 2.0});
+  board.Clear();
+  EXPECT_EQ(board.size(), 0u);
+  EXPECT_EQ(board.total_recorded(), 0u);
+  EXPECT_FALSE(board.Quantile(0.5).ok());
+}
+
+TEST(PublicBoardTest, QuantileCacheInvalidatedByRecord) {
+  PublicBoard board;
+  board.Record({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(board.Quantile(1.0).ValueOrDie(), 3.0);
+  board.RecordOne(100.0);
+  EXPECT_DOUBLE_EQ(board.Quantile(1.0).ValueOrDie(), 100.0);
+}
+
+TEST(PublicBoardTest, UnboundedWhenCapacityZero) {
+  PublicBoard board(0, 3);
+  for (int i = 0; i < 5000; ++i) board.RecordOne(static_cast<double>(i));
+  EXPECT_EQ(board.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace itrim

@@ -1,0 +1,185 @@
+#include "game/strategies.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace itrim {
+namespace {
+
+RoundContext Ctx(int round, double tth = 0.9) {
+  RoundContext ctx;
+  ctx.round = round;
+  ctx.tth = tth;
+  return ctx;
+}
+
+TEST(OstrichTest, NeverTrims) {
+  OstrichCollector c;
+  EXPECT_GE(c.TrimPercentile(Ctx(1)), 1.0);
+  EXPECT_GE(c.TrimPercentile(Ctx(100)), 1.0);
+  EXPECT_EQ(c.termination_round(), 0);
+}
+
+TEST(StaticTest, ConstantThreshold) {
+  StaticCollector c(0.93, "X");
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(1)), 0.93);
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(50)), 0.93);
+  EXPECT_EQ(c.name(), "X");
+}
+
+TEST(TitfortatTest, SoftUntilTriggered) {
+  TitfortatCollector c(+0.01, -0.03, /*trigger_quality=*/0.8);
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(1)), 0.91);
+  // A good round does not trigger.
+  c.Observe(RoundObservation{1, 0.91, 0.95, 0.9, 100, 95});
+  EXPECT_FALSE(c.triggered());
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(2)), 0.91);
+  // A bad round triggers permanently.
+  c.Observe(RoundObservation{2, 0.91, 0.95, 0.5, 100, 95});
+  EXPECT_TRUE(c.triggered());
+  EXPECT_EQ(c.termination_round(), 2);
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(3)), 0.87);
+  // Later good rounds do not untrigger (rigid trigger strategy).
+  c.Observe(RoundObservation{3, 0.87, 0.95, 1.0, 100, 95});
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(4)), 0.87);
+}
+
+TEST(TitfortatTest, ResetClearsTrigger) {
+  TitfortatCollector c(+0.01, -0.03, 0.8);
+  c.Observe(RoundObservation{1, 0.91, 0.95, 0.0, 100, 95});
+  ASSERT_TRUE(c.triggered());
+  c.Reset();
+  EXPECT_FALSE(c.triggered());
+  EXPECT_EQ(c.termination_round(), 0);
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(1)), 0.91);
+}
+
+TEST(TitfortatTest, NanQualityNeverTriggers) {
+  TitfortatCollector c(+0.01, -0.03, 0.8);
+  c.Observe(RoundObservation{1, 0.91, 0.95, std::nan(""), 100, 95});
+  EXPECT_FALSE(c.triggered());
+}
+
+TEST(ElasticCollectorTest, InitialOffsetThenResponds) {
+  ElasticCollector c(0.5);
+  // Round 1: Tth - 3%.
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(1)), 0.87);
+  // Observed injection at 0.99: T(2) = 0.9 + 0.5*(0.99 - 0.9 - 0.01) = 0.94.
+  c.Observe(RoundObservation{1, 0.87, 0.99, 1.0, 100, 90});
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(2)), 0.94);
+  // Observed injection at 0.90: T(3) = 0.9 + 0.5*(-0.01) = 0.895.
+  c.Observe(RoundObservation{2, 0.94, 0.90, 1.0, 100, 90});
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(3)), 0.895);
+}
+
+TEST(ElasticCollectorTest, CleanRoundRelaxesToTth) {
+  ElasticCollector c(0.5);
+  c.TrimPercentile(Ctx(1));
+  c.Observe(RoundObservation{1, 0.87, std::nan(""), 1.0, 100, 100});
+  EXPECT_DOUBLE_EQ(c.TrimPercentile(Ctx(2)), 0.9);
+}
+
+TEST(ElasticCollectorTest, NameEncodesK) {
+  EXPECT_EQ(ElasticCollector(0.1).name(), "Elastic0.1");
+  EXPECT_EQ(ElasticCollector(0.5).name(), "Elastic0.5");
+}
+
+TEST(FixedPercentileAdversaryTest, Constant) {
+  FixedPercentileAdversary a(0.99);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(a.InjectionPercentile(Ctx(1), &rng), 0.99);
+  EXPECT_DOUBLE_EQ(a.InjectionPercentile(Ctx(9), &rng), 0.99);
+}
+
+TEST(UniformRangeAdversaryTest, StaysInRange) {
+  UniformRangeAdversary a(0.9, 1.0);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double x = a.InjectionPercentile(Ctx(1), &rng);
+    EXPECT_GE(x, 0.9);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(ThresholdOffsetAdversaryTest, TracksCollector) {
+  ThresholdOffsetAdversary a(-0.01);
+  Rng rng(3);
+  // Round 1: no observation yet -> relative to Tth.
+  EXPECT_DOUBLE_EQ(a.InjectionPercentile(Ctx(1), &rng), 0.89);
+  RoundContext ctx = Ctx(2);
+  ctx.prev_collector_percentile = 0.95;
+  EXPECT_DOUBLE_EQ(a.InjectionPercentile(ctx, &rng), 0.94);
+}
+
+TEST(ElasticAdversaryTest, CoupledUpdate) {
+  ElasticAdversary a(0.5);
+  Rng rng(4);
+  // Round 1: Tth + 1%.
+  EXPECT_DOUBLE_EQ(a.InjectionPercentile(Ctx(1), &rng), 0.91);
+  // Observed collector at 0.87: A(2) = 0.9 - 0.03 + 0.5*(0.87-0.9) = 0.855.
+  a.Observe(RoundObservation{1, 0.87, 0.91, 1.0, 100, 90});
+  EXPECT_DOUBLE_EQ(a.InjectionPercentile(Ctx(2), &rng), 0.855);
+}
+
+TEST(ElasticAdversaryTest, ResetRestoresInitialPlay) {
+  ElasticAdversary a(0.5);
+  Rng rng(5);
+  a.Observe(RoundObservation{1, 0.87, 0.91, 1.0, 100, 90});
+  a.Reset();
+  EXPECT_DOUBLE_EQ(a.InjectionPercentile(Ctx(1), &rng), 0.91);
+}
+
+TEST(MixedPercentileAdversaryTest, ExtremesArePure) {
+  Rng rng(6);
+  MixedPercentileAdversary always_hi(1.0);
+  MixedPercentileAdversary always_lo(0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(always_hi.InjectionPercentile(Ctx(1), &rng), 0.99);
+    EXPECT_DOUBLE_EQ(always_lo.InjectionPercentile(Ctx(1), &rng), 0.90);
+  }
+}
+
+TEST(MixedPercentileAdversaryTest, MixesAtRateP) {
+  Rng rng(7);
+  MixedPercentileAdversary a(0.3);
+  int hi = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (a.InjectionPercentile(Ctx(1), &rng) > 0.95) ++hi;
+  }
+  EXPECT_NEAR(static_cast<double>(hi) / n, 0.3, 0.02);
+}
+
+// Property: the coupled Elastic pair converges to the analytic fixed point
+// A* = Tth - (3% + 1% k^2)/(1 - k^2).
+class ElasticConvergenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ElasticConvergenceTest, ConvergesToFixedPoint) {
+  const double k = GetParam();
+  const double tth = 0.9;
+  ElasticCollector collector(k);
+  ElasticAdversary adversary(k);
+  Rng rng(8);
+  double t = 0.0, a = 0.0;
+  // Convergence rate is k^2 per two rounds; 400 rounds suffice even at
+  // k = 0.9 (0.81^200 ~ 5e-19).
+  for (int round = 1; round <= 400; ++round) {
+    RoundContext ctx = Ctx(round, tth);
+    t = collector.TrimPercentile(ctx);
+    a = adversary.InjectionPercentile(ctx, &rng);
+    RoundObservation obs{round, t, a, 1.0, 100, 90};
+    collector.Observe(obs);
+    adversary.Observe(obs);
+  }
+  double a_star = tth - (0.03 + 0.01 * k * k) / (1.0 - k * k);
+  double t_star = tth + k * ((a_star - tth) - 0.01);
+  EXPECT_NEAR(a, a_star, 1e-9) << "k=" << k;
+  EXPECT_NEAR(t, t_star, 1e-9) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ElasticConvergenceTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace itrim

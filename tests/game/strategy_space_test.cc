@@ -1,0 +1,141 @@
+#include "game/strategy_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace itrim {
+namespace {
+
+TEST(StrategySpaceTest, MakeValidatesBounds) {
+  EXPECT_TRUE(StrategySpace::Make(0.0, 1.0).ok());
+  EXPECT_FALSE(StrategySpace::Make(1.0, 0.0).ok());
+  EXPECT_FALSE(StrategySpace::Make(1.0, 1.0).ok());
+  EXPECT_FALSE(StrategySpace::Make(0.0, INFINITY).ok());
+}
+
+TEST(StrategySpaceTest, Contains) {
+  auto space = StrategySpace::Make(0.9, 0.99).ValueOrDie();
+  EXPECT_TRUE(space.Contains(0.9));
+  EXPECT_TRUE(space.Contains(0.95));
+  EXPECT_TRUE(space.Contains(0.99));
+  EXPECT_FALSE(space.Contains(0.89));
+  EXPECT_FALSE(space.Contains(1.0));
+}
+
+TEST(ReduceToMixedTest, EndpointsArePure) {
+  auto space = StrategySpace::Make(2.0, 10.0).ValueOrDie();
+  auto left = space.ReduceToMixed(2.0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(left.p_left, 1.0);
+  EXPECT_DOUBLE_EQ(left.p_right, 0.0);
+  auto right = space.ReduceToMixed(10.0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(right.p_left, 0.0);
+  EXPECT_DOUBLE_EQ(right.p_right, 1.0);
+}
+
+TEST(ReduceToMixedTest, MidpointIsHalfHalf) {
+  auto space = StrategySpace::Make(0.0, 1.0).ValueOrDie();
+  auto mid = space.ReduceToMixed(0.5).ValueOrDie();
+  EXPECT_DOUBLE_EQ(mid.p_left, 0.5);
+  EXPECT_DOUBLE_EQ(mid.p_right, 0.5);
+}
+
+TEST(ReduceToMixedTest, PositionRoundTrips) {
+  auto space = StrategySpace::Make(0.9, 0.99).ValueOrDie();
+  for (double x : {0.9, 0.91, 0.945, 0.99}) {
+    auto mixed = space.ReduceToMixed(x).ValueOrDie();
+    EXPECT_NEAR(mixed.Position(space.x_left(), space.x_right()), x, 1e-12);
+    EXPECT_NEAR(mixed.p_left + mixed.p_right, 1.0, 1e-12);
+  }
+}
+
+TEST(ReduceToMixedTest, OutsideDomainErrors) {
+  auto space = StrategySpace::Make(0.0, 1.0).ValueOrDie();
+  EXPECT_FALSE(space.ReduceToMixed(1.5).ok());
+  EXPECT_FALSE(space.ReduceToMixed(-0.1).ok());
+}
+
+TEST(ReduceDistributionTest, MeanOfDistribution) {
+  // Fig 1b: any poison distribution reduces to one mixed-strategy point.
+  auto space = StrategySpace::Make(0.0, 1.0).ValueOrDie();
+  auto mixed = space.ReduceDistribution({0.2, 0.4, 0.6});
+  EXPECT_NEAR(mixed.Position(0.0, 1.0), 0.4, 1e-12);
+}
+
+TEST(ReduceDistributionTest, ClampsOutOfDomainSamples) {
+  auto space = StrategySpace::Make(0.0, 1.0).ValueOrDie();
+  auto mixed = space.ReduceDistribution({-5.0, 5.0});
+  EXPECT_NEAR(mixed.Position(0.0, 1.0), 0.5, 1e-12);
+}
+
+TEST(ReduceDistributionTest, EmptyDefaultsToLeft) {
+  auto space = StrategySpace::Make(0.0, 1.0).ValueOrDie();
+  auto mixed = space.ReduceDistribution({});
+  EXPECT_DOUBLE_EQ(mixed.p_left, 1.0);
+}
+
+TEST(SolveBalancePointTest, LinearCrossing) {
+  // P(x) = x (rising poison loss), T(x) = 1 - x (falling trim overhead):
+  // balance point at x = 0.5 (Fig 1a).
+  auto result = SolveBalancePoint([](double x) { return x; },
+                                  [](double x) { return 1.0 - x; }, 0.0, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(*result, 0.5, 1e-9);
+}
+
+TEST(SolveBalancePointTest, NonlinearCrossing) {
+  auto result =
+      SolveBalancePoint([](double x) { return x * x; },
+                        [](double x) { return std::exp(-3.0 * x); }, 0.0, 2.0);
+  ASSERT_TRUE(result.ok());
+  double x = *result;
+  EXPECT_NEAR(x * x, std::exp(-3.0 * x), 1e-8);
+}
+
+TEST(SolveBalancePointTest, NoSignChangeFails) {
+  auto result = SolveBalancePoint([](double) { return 2.0; },
+                                  [](double) { return 1.0; }, 0.0, 1.0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveBalancePointTest, EndpointRoot) {
+  auto result = SolveBalancePoint([](double x) { return x; },
+                                  [](double) { return 0.0; }, 0.0, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 0.0);
+}
+
+TEST(SolveBalancePointTest, InvalidBracketRejected) {
+  auto result = SolveBalancePoint([](double x) { return x; },
+                                  [](double x) { return 1 - x; }, 1.0, 0.0);
+  EXPECT_FALSE(result.ok());
+}
+
+// Property: reduction is linear — reducing a mixture of two distributions
+// equals mixing the reductions.
+class MixtureLinearityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MixtureLinearityTest, ReductionIsLinear) {
+  Rng rng(GetParam());
+  auto space = StrategySpace::Make(0.9, 0.99).ValueOrDie();
+  std::vector<double> d1, d2, merged;
+  for (int i = 0; i < 100; ++i) {
+    d1.push_back(rng.Uniform(0.9, 0.99));
+    d2.push_back(rng.Uniform(0.9, 0.99));
+  }
+  merged = d1;
+  merged.insert(merged.end(), d2.begin(), d2.end());
+  double pos1 = space.ReduceDistribution(d1).Position(0.9, 0.99);
+  double pos2 = space.ReduceDistribution(d2).Position(0.9, 0.99);
+  double pos_merged = space.ReduceDistribution(merged).Position(0.9, 0.99);
+  EXPECT_NEAR(pos_merged, 0.5 * (pos1 + pos2), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixtureLinearityTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace itrim

@@ -1,0 +1,94 @@
+#include "ldp/attacks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace itrim {
+namespace {
+
+TEST(InputManipulationTest, ReportsAreProtocolCompliant) {
+  // Poison reports from input manipulation must be distributed exactly like
+  // an honest user holding the fake input: mean = fake input.
+  PiecewiseMechanism mech(1.0);
+  InputManipulationAttack attack(1.0);
+  Rng rng(1);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += attack.PoisonReport(mech, &rng);
+  EXPECT_NEAR(acc / n, 1.0, 0.03);
+}
+
+TEST(InputManipulationTest, ReportsStayInDomain) {
+  PiecewiseMechanism mech(1.0);
+  InputManipulationAttack attack(1.0);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    double r = attack.PoisonReport(mech, &rng);
+    EXPECT_GE(r, mech.report_lo());
+    EXPECT_LE(r, mech.report_hi());
+  }
+}
+
+TEST(InputManipulationTest, CustomFakeInput) {
+  DuchiMechanism mech(2.0);
+  InputManipulationAttack attack(-1.0);  // skew downward
+  Rng rng(3);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += attack.PoisonReport(mech, &rng);
+  EXPECT_NEAR(acc / n, -1.0, 0.05);
+}
+
+TEST(GeneralManipulationTest, ReportsDomainMaximum) {
+  DuchiMechanism mech(1.0);
+  GeneralManipulationAttack attack(1.0);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(attack.PoisonReport(mech, &rng), mech.c());
+  }
+}
+
+TEST(GeneralManipulationTest, FractionScalesReport) {
+  PiecewiseMechanism mech(1.0);
+  GeneralManipulationAttack attack(0.5);
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(attack.PoisonReport(mech, &rng), 0.5 * mech.c());
+}
+
+TEST(GeneralManipulationTest, UnboundedDomainCapped) {
+  LaplaceMechanism mech(1.0);
+  GeneralManipulationAttack attack(1.0);
+  Rng rng(6);
+  double r = attack.PoisonReport(mech, &rng);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_GT(r, 1.0);  // beyond the honest input domain
+}
+
+TEST(GeneralManipulationTest, StrongerThanInputManipulation) {
+  // The general attack's poison mean exceeds the evasive attack's — the
+  // evasiveness/effectiveness trade-off of the related work.
+  PiecewiseMechanism mech(1.0);
+  GeneralManipulationAttack general(1.0);
+  InputManipulationAttack input(1.0);
+  Rng rng(7);
+  double general_mean = 0.0, input_mean = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    general_mean += general.PoisonReport(mech, &rng);
+    input_mean += input.PoisonReport(mech, &rng);
+  }
+  EXPECT_GT(general_mean / n, input_mean / n + 0.5);
+}
+
+TEST(AttackNamesTest, Names) {
+  InputManipulationAttack a;
+  GeneralManipulationAttack b;
+  EXPECT_EQ(a.name(), "input_manipulation");
+  EXPECT_EQ(b.name(), "general_manipulation");
+}
+
+}  // namespace
+}  // namespace itrim

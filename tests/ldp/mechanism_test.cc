@@ -1,0 +1,138 @@
+#include "ldp/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace itrim {
+namespace {
+
+// Empirical mean of many perturbations of x.
+double EmpiricalMean(const LdpMechanism& mech, double x, int n, Rng* rng) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += mech.Perturb(x, rng);
+  return acc / n;
+}
+
+class UnbiasednessTest
+    : public ::testing::TestWithParam<std::tuple<std::string, double, double>> {
+};
+
+TEST_P(UnbiasednessTest, ReportsAreUnbiased) {
+  auto [name, epsilon, x] = GetParam();
+  auto mech = MakeMechanism(name, epsilon).ValueOrDie();
+  Rng rng(77);
+  double mean = EmpiricalMean(*mech, x, 200000, &rng);
+  EXPECT_NEAR(mean, x, 0.05) << name << " eps=" << epsilon << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, UnbiasednessTest,
+    ::testing::Combine(::testing::Values("laplace", "duchi", "piecewise"),
+                       ::testing::Values(0.5, 1.0, 3.0),
+                       ::testing::Values(-1.0, -0.3, 0.0, 0.7, 1.0)));
+
+TEST(LaplaceTest, NoiseScaleMatchesSensitivity) {
+  LaplaceMechanism mech(2.0);  // scale = 2/eps = 1
+  Rng rng(5);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double noise = mech.Perturb(0.0, &rng);
+    acc += noise * noise;
+  }
+  // Var = 2 b^2 = 2.
+  EXPECT_NEAR(acc / n, 2.0, 0.1);
+  EXPECT_TRUE(std::isinf(mech.report_hi()));
+}
+
+TEST(DuchiTest, BinaryOutputAtPlusMinusC) {
+  DuchiMechanism mech(1.0);
+  Rng rng(6);
+  double c = mech.c();
+  EXPECT_NEAR(c, (std::exp(1.0) + 1.0) / (std::exp(1.0) - 1.0), 1e-12);
+  for (int i = 0; i < 1000; ++i) {
+    double r = mech.Perturb(0.3, &rng);
+    EXPECT_TRUE(r == c || r == -c);
+  }
+  EXPECT_DOUBLE_EQ(mech.report_hi(), c);
+  EXPECT_DOUBLE_EQ(mech.report_lo(), -c);
+}
+
+TEST(DuchiTest, ProbabilityRespectsEpsilonBound) {
+  // LDP requires P[+C | x] / P[+C | x'] <= e^eps for all pairs x, x'.
+  double eps = 1.0;
+  DuchiMechanism mech(eps);
+  Rng rng(7);
+  auto p_plus = [&](double x) {
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      if (mech.Perturb(x, &rng) > 0) ++hits;
+    }
+    return static_cast<double>(hits) / n;
+  };
+  double hi = p_plus(1.0), lo = p_plus(-1.0);
+  EXPECT_LT(hi / lo, std::exp(eps) * 1.05);
+  EXPECT_GT(hi / lo, std::exp(eps) * 0.9);
+}
+
+TEST(PiecewiseTest, ReportsWithinDomain) {
+  PiecewiseMechanism mech(1.0);
+  Rng rng(8);
+  double c = mech.c();
+  for (int i = 0; i < 10000; ++i) {
+    double r = mech.Perturb(rng.Uniform(-1.0, 1.0), &rng);
+    EXPECT_GE(r, -c);
+    EXPECT_LE(r, c);
+  }
+}
+
+TEST(PiecewiseTest, ConcentratesAroundTruth) {
+  PiecewiseMechanism mech(3.0);
+  Rng rng(9);
+  // Reports for x = 0.5 should fall near 0.5 much more often than near -0.5.
+  int near_true = 0, near_false = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double r = mech.Perturb(0.5, &rng);
+    if (std::fabs(r - 0.5) < 0.3) ++near_true;
+    if (std::fabs(r + 0.5) < 0.3) ++near_false;
+  }
+  EXPECT_GT(near_true, 3 * near_false);
+}
+
+TEST(PiecewiseTest, DomainShrinksWithEpsilon) {
+  PiecewiseMechanism tight(5.0), loose(0.5);
+  EXPECT_LT(tight.c(), loose.c());
+}
+
+TEST(MechanismTest, InputClampedToDomain) {
+  PiecewiseMechanism mech(1.0);
+  Rng rng(10);
+  double c = mech.c();
+  // x far outside [-1,1] must still produce in-domain reports.
+  for (int i = 0; i < 1000; ++i) {
+    double r = mech.Perturb(50.0, &rng);
+    EXPECT_GE(r, -c);
+    EXPECT_LE(r, c);
+  }
+}
+
+TEST(MakeMechanismTest, FactoryDispatch) {
+  EXPECT_EQ(MakeMechanism("laplace", 1.0).ValueOrDie()->name(), "laplace");
+  EXPECT_EQ(MakeMechanism("duchi", 1.0).ValueOrDie()->name(), "duchi");
+  EXPECT_EQ(MakeMechanism("piecewise", 1.0).ValueOrDie()->name(),
+            "piecewise");
+  EXPECT_FALSE(MakeMechanism("exponential", 1.0).ok());
+  EXPECT_FALSE(MakeMechanism("laplace", 0.0).ok());
+  EXPECT_FALSE(MakeMechanism("laplace", -1.0).ok());
+}
+
+TEST(MechanismTest, EpsilonAccessor) {
+  EXPECT_DOUBLE_EQ(MakeMechanism("duchi", 2.5).ValueOrDie()->epsilon(), 2.5);
+}
+
+}  // namespace
+}  // namespace itrim

@@ -1,0 +1,160 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "stats/metrics.h"
+
+namespace itrim {
+namespace {
+
+// Three well-separated 2-D blobs.
+std::vector<std::vector<double>> MakeBlobs(uint64_t seed, size_t per_blob,
+                                           double spread = 0.2) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  const std::vector<std::vector<double>> centers = {
+      {0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto& c : centers) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.push_back(
+          {c[0] + rng.Normal(0.0, spread), c[1] + rng.Normal(0.0, spread)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  auto points = MakeBlobs(1, 100);
+  KMeansConfig config;
+  config.k = 3;
+  config.restarts = 3;
+  auto result = KMeans(points, config).ValueOrDie();
+  ASSERT_EQ(result.centroids.size(), 3u);
+  // Each true center must be within the blob spread of a learned centroid.
+  for (const auto& truth :
+       std::vector<std::vector<double>>{{0, 0}, {10, 0}, {0, 10}}) {
+    double best = 1e18;
+    for (const auto& c : result.centroids) {
+      best = std::min(best, EuclideanDistance(truth, c));
+    }
+    EXPECT_LT(best, 0.5);
+  }
+  EXPECT_LT(result.sse / points.size(), 0.25);
+}
+
+TEST(KMeansTest, AssignmentMatchesNearestCentroid) {
+  auto points = MakeBlobs(2, 50);
+  KMeansConfig config;
+  config.k = 3;
+  auto result = KMeans(points, config).ValueOrDie();
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(result.assignment[i],
+              NearestCentroid(points[i], result.centroids));
+  }
+}
+
+TEST(KMeansTest, SseMatchesClusteringSse) {
+  auto points = MakeBlobs(3, 40);
+  KMeansConfig config;
+  config.k = 3;
+  auto result = KMeans(points, config).ValueOrDie();
+  EXPECT_NEAR(result.sse,
+              ClusteringSse(points, result.centroids, result.assignment),
+              1e-9);
+}
+
+TEST(KMeansTest, ValidatesInput) {
+  KMeansConfig config;
+  config.k = 2;
+  EXPECT_FALSE(KMeans({}, config).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, config).ok());  // k > n
+  config.k = 0;
+  EXPECT_FALSE(KMeans({{1.0}}, config).ok());
+  config.k = 1;
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, config).ok());  // ragged
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroSse) {
+  std::vector<std::vector<double>> points = {{0.0}, {5.0}, {9.0}};
+  KMeansConfig config;
+  config.k = 3;
+  config.restarts = 5;
+  auto result = KMeans(points, config).ValueOrDie();
+  EXPECT_NEAR(result.sse, 0.0, 1e-18);
+}
+
+TEST(KMeansTest, DeterministicInSeed) {
+  auto points = MakeBlobs(4, 60, 1.0);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 42;
+  auto a = KMeans(points, config).ValueOrDie();
+  auto b = KMeans(points, config).ValueOrDie();
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_DOUBLE_EQ(a.sse, b.sse);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  auto points = MakeBlobs(5, 60, 2.5);
+  KMeansConfig one;
+  one.k = 3;
+  one.restarts = 1;
+  one.seed = 7;
+  KMeansConfig many = one;
+  many.restarts = 8;
+  double sse_one = KMeans(points, one).ValueOrDie().sse;
+  double sse_many = KMeans(points, many).ValueOrDie().sse;
+  EXPECT_LE(sse_many, sse_one + 1e-9);
+}
+
+TEST(KMeansTest, ConvergesOnRealisticData) {
+  Dataset control = MakeControl(6);
+  KMeansConfig config;
+  config.k = 6;
+  config.restarts = 2;
+  auto result = KMeans(control.rows, config).ValueOrDie();
+  EXPECT_TRUE(result.converged);
+  // All 6 clusters should be populated.
+  std::set<size_t> used(result.assignment.begin(), result.assignment.end());
+  EXPECT_GE(used.size(), 5u);
+}
+
+TEST(EvaluateSseTest, HoldoutScoring) {
+  std::vector<std::vector<double>> centroids = {{0.0}, {10.0}};
+  std::vector<std::vector<double>> eval = {{1.0}, {9.0}};
+  EXPECT_DOUBLE_EQ(EvaluateSse(eval, centroids), 2.0);
+}
+
+TEST(NearestCentroidTest, PicksClosest) {
+  std::vector<std::vector<double>> centroids = {{0.0}, {10.0}, {20.0}};
+  EXPECT_EQ(NearestCentroid({2.0}, centroids), 0u);
+  EXPECT_EQ(NearestCentroid({11.0}, centroids), 1u);
+  EXPECT_EQ(NearestCentroid({100.0}, centroids), 2u);
+}
+
+// Property: SSE never increases when k grows (with enough restarts).
+class KSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KSweepTest, SseDecreasesWithK) {
+  auto points = MakeBlobs(8, 50, 1.5);
+  KMeansConfig small;
+  small.k = GetParam();
+  small.restarts = 6;
+  small.seed = 11;
+  KMeansConfig big = small;
+  big.k = GetParam() + 1;
+  double sse_small = KMeans(points, small).ValueOrDie().sse;
+  double sse_big = KMeans(points, big).ValueOrDie().sse;
+  EXPECT_LE(sse_big, sse_small * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KSweepTest, ::testing::Values(1u, 2u, 3u, 5u));
+
+}  // namespace
+}  // namespace itrim

@@ -1,0 +1,130 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace itrim {
+namespace {
+
+Dataset MakeTwoBlobs(uint64_t seed, size_t per_class, double gap = 4.0) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "blobs";
+  ds.num_clusters = 2;
+  for (size_t i = 0; i < per_class; ++i) {
+    ds.rows.push_back({rng.Normal(-gap / 2, 1.0), rng.Normal(0.0, 1.0)});
+    ds.labels.push_back(0);
+    ds.rows.push_back({rng.Normal(gap / 2, 1.0), rng.Normal(0.0, 1.0)});
+    ds.labels.push_back(1);
+  }
+  return ds;
+}
+
+TEST(SvmTest, SeparatesLinearlySeparableData) {
+  Dataset ds = MakeTwoBlobs(1, 200, 8.0);
+  auto model = LinearSvm::Train(ds, SvmConfig{}).ValueOrDie();
+  EXPECT_GT(model.Evaluate(ds), 0.99);
+  EXPECT_EQ(model.classes(), 2u);
+  EXPECT_EQ(model.dims(), 2u);
+}
+
+TEST(SvmTest, OverlappingDataStillLearns) {
+  Dataset ds = MakeTwoBlobs(2, 300, 2.0);
+  auto model = LinearSvm::Train(ds, SvmConfig{}).ValueOrDie();
+  EXPECT_GT(model.Evaluate(ds), 0.75);
+}
+
+TEST(SvmTest, MultiClassOnControl) {
+  Dataset control = MakeControl(3);
+  auto model = LinearSvm::Train(control, SvmConfig{}).ValueOrDie();
+  EXPECT_EQ(model.classes(), 6u);
+  // The synthetic control classes are nearly linearly separable.
+  EXPECT_GT(model.Evaluate(control), 0.9);
+}
+
+TEST(SvmTest, DecisionValueConsistentWithPredict) {
+  Dataset ds = MakeTwoBlobs(4, 100);
+  auto model = LinearSvm::Train(ds, SvmConfig{}).ValueOrDie();
+  for (size_t i = 0; i < 20; ++i) {
+    int predicted = model.Predict(ds.rows[i]);
+    double own = model.DecisionValue(static_cast<size_t>(predicted),
+                                     ds.rows[i]);
+    for (size_t c = 0; c < model.classes(); ++c) {
+      EXPECT_GE(own, model.DecisionValue(c, ds.rows[i]) - 1e-12);
+    }
+  }
+}
+
+TEST(SvmTest, ValidatesInput) {
+  Dataset empty;
+  EXPECT_FALSE(LinearSvm::Train(empty, SvmConfig{}).ok());
+
+  Dataset unlabeled;
+  unlabeled.rows = {{1.0}};
+  EXPECT_FALSE(LinearSvm::Train(unlabeled, SvmConfig{}).ok());
+
+  Dataset negative;
+  negative.rows = {{1.0}};
+  negative.labels = {-1};
+  EXPECT_FALSE(LinearSvm::Train(negative, SvmConfig{}).ok());
+
+  Dataset ds = MakeTwoBlobs(5, 10);
+  SvmConfig bad;
+  bad.c = 0.0;
+  EXPECT_FALSE(LinearSvm::Train(ds, bad).ok());
+}
+
+TEST(SvmTest, DeterministicInSeed) {
+  Dataset ds = MakeTwoBlobs(6, 100, 3.0);
+  SvmConfig config;
+  config.seed = 9;
+  auto a = LinearSvm::Train(ds, config).ValueOrDie();
+  auto b = LinearSvm::Train(ds, config).ValueOrDie();
+  for (size_t i = 0; i < ds.rows.size(); ++i) {
+    EXPECT_EQ(a.Predict(ds.rows[i]), b.Predict(ds.rows[i]));
+  }
+}
+
+TEST(SvmTest, BiasHandlesOffsetData) {
+  // Both blobs on one side of the origin: requires a working bias term.
+  Rng rng(7);
+  Dataset ds;
+  ds.num_clusters = 2;
+  for (int i = 0; i < 200; ++i) {
+    ds.rows.push_back({rng.Normal(5.0, 0.5)});
+    ds.labels.push_back(0);
+    ds.rows.push_back({rng.Normal(8.0, 0.5)});
+    ds.labels.push_back(1);
+  }
+  auto model = LinearSvm::Train(ds, SvmConfig{}).ValueOrDie();
+  EXPECT_GT(model.Evaluate(ds), 0.98);
+}
+
+TEST(SvmTest, EvaluateOnEmptyDataIsZero) {
+  Dataset ds = MakeTwoBlobs(8, 50);
+  auto model = LinearSvm::Train(ds, SvmConfig{}).ValueOrDie();
+  Dataset empty;
+  EXPECT_DOUBLE_EQ(model.Evaluate(empty), 0.0);
+}
+
+// Property: accuracy improves (or holds) as the class gap widens.
+class GapSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GapSweepTest, WiderGapAtLeastAsAccurate) {
+  double gap = GetParam();
+  Dataset narrow = MakeTwoBlobs(10, 150, gap);
+  Dataset wide = MakeTwoBlobs(10, 150, gap + 3.0);
+  double acc_narrow =
+      LinearSvm::Train(narrow, SvmConfig{}).ValueOrDie().Evaluate(narrow);
+  double acc_wide =
+      LinearSvm::Train(wide, SvmConfig{}).ValueOrDie().Evaluate(wide);
+  EXPECT_GE(acc_wide, acc_narrow - 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, GapSweepTest,
+                         ::testing::Values(1.0, 2.0, 4.0, 6.0));
+
+}  // namespace
+}  // namespace itrim

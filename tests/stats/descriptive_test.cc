@@ -1,0 +1,82 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace itrim {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  s.AddAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  s.AddAll({0.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(11);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  // Welford must not catastrophically cancel with a large common offset.
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace itrim

@@ -1,0 +1,79 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace itrim {
+namespace {
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.BinOf(0.5), 0u);
+  EXPECT_EQ(h.BinOf(9.5), 9u);
+  EXPECT_EQ(h.BinOf(5.0), 5u);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.BinOf(-5.0), 0u);
+  EXPECT_EQ(h.BinOf(15.0), 9u);
+  EXPECT_EQ(h.BinOf(10.0), 9u);  // hi boundary goes to the last bin
+}
+
+TEST(HistogramTest, CountsAccumulate) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  h.Add(0.1);
+  h.Add(0.9);
+  EXPECT_DOUBLE_EQ(h.Count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, WeightedAdds) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddWeighted(0.25, 2.5);
+  EXPECT_DOUBLE_EQ(h.Count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.total(), 2.5);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.BinCenter(3), 0.875);
+}
+
+TEST(HistogramTest, FrequenciesSumToOne) {
+  Histogram h(-1.0, 1.0, 8);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.Uniform(-1.0, 1.0));
+  auto f = h.Frequencies();
+  double total = 0.0;
+  for (double x : f) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyFrequenciesAllZero) {
+  Histogram h(0.0, 1.0, 4);
+  for (double f : h.Frequencies()) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.5);
+  h.Clear();
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Count(2), 0.0);
+}
+
+TEST(HistogramTest, UniformDataFillsBinsEvenly) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(7);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) h.Add(rng.Uniform());
+  for (auto f : h.Frequencies()) EXPECT_NEAR(f, 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace itrim
