@@ -2,4 +2,7 @@
 // for six schemes at Tth = 0.9, across three attack-ratio bands.
 #include "bench_fig_kmeans_common.h"
 
-int main() { return itrim::bench::RunKmeansFigure("Fig 4", 0.9); }
+int main(int argc, char** argv) {
+  return itrim::bench::RunKmeansFigure("Fig 4", 0.9,
+                                       itrim::bench::Jobs(argc, argv));
+}

@@ -2,4 +2,7 @@
 // Tth = 0.97 threshold.
 #include "bench_fig_kmeans_common.h"
 
-int main() { return itrim::bench::RunKmeansFigure("Fig 5", 0.97); }
+int main(int argc, char** argv) {
+  return itrim::bench::RunKmeansFigure("Fig 5", 0.97,
+                                       itrim::bench::Jobs(argc, argv));
+}

@@ -10,10 +10,11 @@
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
   SvmExperimentConfig config;
   config.repetitions = bench::EnvInt("ITRIM_BENCH_REPS", 3);
+  config.threads = bench::Jobs(argc, argv);
   PrintBanner(std::cout,
               "Fig 7: SVM accuracy, Control, Tth=0.95, attack ratio=0.4");
   auto result = RunSvmExperiment(config);

@@ -10,11 +10,12 @@
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
   SomExperimentConfig config;
   config.dataset_size =
       static_cast<size_t>(4000 * bench::EnvScale("ITRIM_BENCH_SCALE", 1.0));
+  config.threads = bench::Jobs(argc, argv);
   PrintBanner(std::cout,
               "Fig 8: SOM structure preservation, Creditcard, Tth=0.95, "
               "attack ratio=0.4");

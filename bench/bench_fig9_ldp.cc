@@ -13,9 +13,10 @@
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
   const int reps = bench::EnvInt("ITRIM_BENCH_REPS", 3);
+  const int jobs = bench::Jobs(argc, argv);
   const std::vector<double> epsilons = {1.0, 1.5, 2.0, 2.5, 3.0,
                                         3.5, 4.0, 4.5, 5.0};
   const std::vector<double> ratios = {0.05, 0.1, 0.15, 0.2, 0.25,
@@ -25,6 +26,7 @@ int main() {
     config.epsilons = epsilons;
     config.attack_ratio = ratio;
     config.repetitions = reps;
+    config.threads = jobs;
     config.population_size = static_cast<size_t>(
         50000 * bench::EnvScale("ITRIM_BENCH_SCALE", 1.0));
     char title[96];

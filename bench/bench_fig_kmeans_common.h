@@ -14,8 +14,10 @@
 namespace itrim::bench {
 
 /// \brief Runs the three dataset panels x three attack-ratio bands of
-/// Fig 4/5 at the given threshold and prints one table per panel.
-inline int RunKmeansFigure(const std::string& figure, double tth) {
+/// Fig 4/5 at the given threshold and prints one table per panel. `jobs`
+/// fans the (scheme, ratio, repetition) arms across threads (0 = default).
+inline int RunKmeansFigure(const std::string& figure, double tth,
+                           int jobs = 0) {
   const int reps = EnvInt("ITRIM_BENCH_REPS", 3);
   const struct Band {
     const char* name;
@@ -46,6 +48,7 @@ inline int RunKmeansFigure(const std::string& figure, double tth) {
       config.attack_ratios = band.ratios;
       config.repetitions = reps;
       config.seed = 2024;
+      config.threads = jobs;
       auto result = RunKmeansExperiment(config);
       if (!result.ok()) {
         std::cerr << "ERROR: " << result.status().ToString() << "\n";

@@ -13,10 +13,12 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "ldp/frequency.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
+  const int jobs = bench::Jobs(argc, argv);
   const size_t kDomain = 32;
   const size_t kHonest = 20000;
   const size_t kAttackers = 1000;  // 5%
@@ -43,48 +45,68 @@ int main() {
               "attackers, 4 targets)");
   TablePrinter table({"oracle", "eps", "attack", "gain (no defense)",
                       "gain (structural trim)"});
-  for (double eps : {0.5, 1.0, 2.0, 4.0}) {
-    auto oue = OueOracle::Make(kDomain, eps).ValueOrDie();
-    for (int attack_kind = 0; attack_kind < 3; ++attack_kind) {
-      Rng rng(1234 + static_cast<uint64_t>(eps * 10.0));
-      std::unique_ptr<FrequencyAttack> attack;
-      std::string attack_label;
-      if (attack_kind == 0) {
-        attack = std::make_unique<MaximalGainAttack>(wide_targets);
-        attack_label = "mga-wide(24)";
-      } else if (attack_kind == 1) {
-        attack = std::make_unique<MaximalGainAttack>(kTargets);
-        attack_label = "mga(4)";
-      } else {
-        attack = std::make_unique<FrequencyInputManipulation>(kTargets);
-        attack_label = "input_manipulation";
-      }
-      std::vector<std::vector<uint8_t>> reports;
-      reports.reserve(kHonest + kAttackers);
-      for (size_t i = 0; i < kHonest; ++i) {
-        reports.push_back(oue.Perturb(rng.Categorical(truth), &rng));
-      }
-      for (size_t i = 0; i < kAttackers; ++i) {
-        reports.push_back(attack->PoisonReport(oue, &rng));
-      }
-      const auto& gain_targets = attack_kind == 0 ? wide_targets : kTargets;
-      auto gain_with = [&](bool trimmed) {
-        std::vector<char> keep(reports.size(), 1);
-        if (trimmed) keep = TrimOueReports(reports, oue);
-        ReportAggregator agg(kDomain);
-        for (size_t i = 0; i < reports.size(); ++i) {
-          if (keep[i]) agg.Add(reports[i]);
+  // Each (eps, attack) cell seeds its own Rng and builds its own stateless
+  // oracle, so the 12 report-generation pipelines fan out across threads
+  // and the table is rendered from per-cell results in serial order.
+  const std::vector<double> kEpsilons = {0.5, 1.0, 2.0, 4.0};
+  struct Cell {
+    std::string attack_label;
+    double eps = 0.0;
+    double gain_plain = 0.0;
+    double gain_trimmed = 0.0;
+  };
+  std::vector<Cell> cells(kEpsilons.size() * 3);
+  ParallelFor(
+      cells.size(),
+      [&](size_t cell) {
+        const double eps = kEpsilons[cell / 3];
+        const int attack_kind = static_cast<int>(cell % 3);
+        auto oue = OueOracle::Make(kDomain, eps).ValueOrDie();
+        Rng rng(1234 + static_cast<uint64_t>(eps * 10.0));
+        std::unique_ptr<FrequencyAttack> attack;
+        std::string attack_label;
+        if (attack_kind == 0) {
+          attack = std::make_unique<MaximalGainAttack>(wide_targets);
+          attack_label = "mga-wide(24)";
+        } else if (attack_kind == 1) {
+          attack = std::make_unique<MaximalGainAttack>(kTargets);
+          attack_label = "mga(4)";
+        } else {
+          attack = std::make_unique<FrequencyInputManipulation>(kTargets);
+          attack_label = "input_manipulation";
         }
-        auto estimate = oue.Estimate(agg.bit_counts(), agg.count());
-        return FrequencyGain(estimate, truth, gain_targets);
-      };
-      table.BeginRow();
-      table.AddCell("oue");
-      table.AddNumber(eps, 1);
-      table.AddCell(attack_label);
-      table.AddNumber(gain_with(false), 4);
-      table.AddNumber(gain_with(true), 4);
-    }
+        std::vector<std::vector<uint8_t>> reports;
+        reports.reserve(kHonest + kAttackers);
+        for (size_t i = 0; i < kHonest; ++i) {
+          reports.push_back(oue.Perturb(rng.Categorical(truth), &rng));
+        }
+        for (size_t i = 0; i < kAttackers; ++i) {
+          reports.push_back(attack->PoisonReport(oue, &rng));
+        }
+        const auto& gain_targets = attack_kind == 0 ? wide_targets : kTargets;
+        auto gain_with = [&](bool trimmed) {
+          std::vector<char> keep(reports.size(), 1);
+          if (trimmed) keep = TrimOueReports(reports, oue);
+          ReportAggregator agg(kDomain);
+          for (size_t i = 0; i < reports.size(); ++i) {
+            if (keep[i]) agg.Add(reports[i]);
+          }
+          auto estimate = oue.Estimate(agg.bit_counts(), agg.count());
+          return FrequencyGain(estimate, truth, gain_targets);
+        };
+        cells[cell].attack_label = attack_label;
+        cells[cell].eps = eps;
+        cells[cell].gain_plain = gain_with(false);
+        cells[cell].gain_trimmed = gain_with(true);
+      },
+      jobs);
+  for (const Cell& cell : cells) {
+    table.BeginRow();
+    table.AddCell("oue");
+    table.AddNumber(cell.eps, 1);
+    table.AddCell(cell.attack_label);
+    table.AddNumber(cell.gain_plain, 4);
+    table.AddNumber(cell.gain_trimmed, 4);
   }
   table.Print(std::cout);
   std::cout << "\nreading guide: the structural trim wipes out the blatant "

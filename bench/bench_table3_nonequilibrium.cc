@@ -12,10 +12,11 @@
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
   NonEquilibriumConfig config;
   config.repetitions = bench::EnvInt("ITRIM_BENCH_REPS", 25);
+  config.threads = bench::Jobs(argc, argv);
   std::vector<double> ps;
   for (int i = 0; i <= 10; ++i) ps.push_back(0.1 * i);
 

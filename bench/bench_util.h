@@ -3,6 +3,7 @@
 #define ITRIM_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace itrim::bench {
@@ -21,6 +22,26 @@ inline double EnvScale(const char* name, double fallback) {
   if (value == nullptr || *value == '\0') return fallback;
   double v = std::atof(value);
   return v > 0.0 && v <= 1.0 ? v : fallback;
+}
+
+/// \brief Parallel-jobs knob shared by every bench: `--jobs=N` / `--jobs N`
+/// on the command line wins, then the ITRIM_THREADS environment variable,
+/// then the hardware concurrency. The returned value feeds the `threads`
+/// field of the experiment configs; results are bit-identical at any
+/// setting (see common/thread_pool.h), only wall-clock changes.
+inline int Jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      int n = std::atoi(arg + 7);
+      if (n > 0) return n;
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[i + 1]);
+      if (n > 0) return n;
+    }
+  }
+  // 0 lets the library resolve ITRIM_THREADS / hardware concurrency.
+  return 0;
 }
 
 }  // namespace itrim::bench

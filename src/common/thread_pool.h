@@ -1,0 +1,91 @@
+// Work-sharing thread pool and the ParallelFor primitive built on it.
+//
+// The experiment pipelines (exp/experiments.cc) are embarrassingly parallel
+// across repetitions: every repetition derives its own Rng stream from
+// `seed + rep`, so repetitions can run on any thread in any order as long as
+// their results are merged back in repetition order. ParallelFor provides
+// exactly that contract:
+//
+//   * body(i) is invoked exactly once for every i in [0, n), on an
+//     unspecified thread;
+//   * callers store per-index results into pre-sized slots and reduce them
+//     in index order afterwards, which makes the output bit-identical to a
+//     serial `for` loop at any thread count;
+//   * the first (lowest-index) exception thrown by a body is rethrown on the
+//     calling thread once all in-flight work has drained.
+//
+// Thread count resolution: an explicit `num_jobs` argument wins, otherwise
+// the ITRIM_THREADS environment variable, otherwise the hardware
+// concurrency. `num_jobs == 1` runs inline on the caller with no pool
+// involvement, so a pool of one is the serial path by construction.
+#ifndef ITRIM_COMMON_THREAD_POOL_H_
+#define ITRIM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace itrim {
+
+/// \brief Fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues `fn`; the future resolves when it has run (or carries
+  /// its exception).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// \brief Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// \brief Process-wide shared pool, lazily created with
+  /// DefaultNumThreads() workers. Never returns null.
+  static ThreadPool* Global();
+
+  /// \brief True when the calling thread is one of this process's pool
+  /// workers (used to serialize nested ParallelFor calls).
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Resolves the default parallelism: ITRIM_THREADS when set to a
+/// positive integer, otherwise std::thread::hardware_concurrency(), never
+/// less than 1.
+int DefaultNumThreads();
+
+/// \brief Runs body(i) for every i in [0, n) across up to `num_jobs`
+/// threads (0 = DefaultNumThreads()).
+///
+/// Indices are claimed dynamically from a shared counter, so bodies of
+/// uneven cost balance across threads. The call returns only after every
+/// invoked body has finished. Exceptions: if any body throws, remaining
+/// unclaimed indices are abandoned and the pending exception with the
+/// lowest index is rethrown here. Nested calls from inside a pool worker
+/// run serially inline (the pool cannot wait on itself).
+void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                 int num_jobs = 0);
+
+}  // namespace itrim
+
+#endif  // ITRIM_COMMON_THREAD_POOL_H_

@@ -1,9 +1,13 @@
 #include "exp/experiments.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "data/generators.h"
 #include "ldp/attacks.h"
 #include "ldp/ldp_game.h"
@@ -32,6 +36,44 @@ GameConfig MakeGameConfig(int rounds, size_t round_size, double attack_ratio,
   g.round_mass_trimming = round_mass_trimming;
   g.seed = seed;
   return g;
+}
+
+// Runs `body(arm)` for every arm in [0, n) across `threads` jobs and
+// returns the first (lowest-arm) reported non-OK status, or OK. Each arm
+// must be self-contained: it derives its own Rng streams and writes only
+// into its own result slot, so the reduction the caller performs
+// afterwards — in arm order — is bit-identical to the serial loop at any
+// thread count. Once any arm fails, arms not yet started are skipped (the
+// whole experiment is aborted anyway); when several arms would fail, which
+// one is reported may therefore vary with scheduling.
+Status ParallelArms(size_t n, int threads,
+                    const std::function<Status(size_t)>& body) {
+  std::vector<Status> statuses(n);
+  std::atomic<bool> failed{false};
+  ParallelFor(
+      n,
+      [&](size_t arm) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        Status s = body(arm);
+        if (!s.ok()) {
+          statuses[arm] = std::move(s);
+          failed.store(true, std::memory_order_relaxed);
+        }
+      },
+      threads);
+  if (failed.load()) {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+// Clamps a repetition count to [0, n]; negative configs (e.g. a bad
+// ITRIM_BENCH_REPS) must degrade to zero arms, as the serial loops did,
+// not wrap through size_t into a gigantic allocation.
+size_t ClampReps(int repetitions) {
+  return repetitions > 0 ? static_cast<size_t>(repetitions) : 0;
 }
 
 }  // namespace
@@ -63,12 +105,24 @@ Result<KmeansExperimentResult> RunKmeansExperiment(
   KmeansExperimentResult result;
   result.groundtruth_sse = EvaluateSse(eval_set.rows, gt.centroids);
 
-  for (SchemeId id : PlottedSchemes()) {
-    KmeansSeries series;
-    series.scheme = SchemeName(id);
-    for (double ratio : config.attack_ratios) {
-      double sse_acc = 0.0, dist_acc = 0.0;
-      for (int rep = 0; rep < config.repetitions; ++rep) {
+  // Every (scheme, ratio, repetition) arm is independent: it builds its own
+  // strategies, game and model from arm-local seeds and reads the shared
+  // datasets only. Fan all arms out at once and reduce in loop order.
+  const std::vector<SchemeId> schemes = PlottedSchemes();
+  const size_t n_ratios = config.attack_ratios.size();
+  const size_t n_reps = ClampReps(config.repetitions);
+  struct ArmOut {
+    double sse = 0.0;
+    double distance = 0.0;
+  };
+  std::vector<ArmOut> arms(schemes.size() * n_ratios * n_reps);
+
+  Status run_status = ParallelArms(
+      arms.size(), config.threads, [&](size_t arm) -> Status {
+        const int rep = static_cast<int>(arm % n_reps);
+        const double ratio = config.attack_ratios[(arm / n_reps) % n_ratios];
+        const SchemeId id = schemes[arm / (n_reps * n_ratios)];
+
         SchemeOptions opts;
         opts.seed = config.seed + static_cast<uint64_t>(rep) * 7919;
         SchemeInstance scheme = MakeScheme(id, config.tth, opts);
@@ -84,18 +138,32 @@ Result<KmeansExperimentResult> RunKmeansExperiment(
         ITRIM_RETURN_NOT_OK(game.Run().status());
         const Dataset& retained = game.retained_data();
         if (retained.rows.size() < km.k) {
-          return Status::Internal("scheme " + series.scheme +
+          return Status::Internal("scheme " + SchemeName(id) +
                                   " retained too few rows");
         }
         KMeansConfig km_run = km;
         km_run.seed = km.seed + static_cast<uint64_t>(rep) * 13;
         KMeansResult model;
         ITRIM_ASSIGN_OR_RETURN(model, KMeans(retained.rows, km_run));
-        sse_acc += EvaluateSse(eval_set.rows, model.centroids);
-        dist_acc += CentroidSetDistance(model.centroids, gt.centroids);
+        arms[arm].sse = EvaluateSse(eval_set.rows, model.centroids);
+        arms[arm].distance =
+            CentroidSetDistance(model.centroids, gt.centroids);
+        return Status::OK();
+      });
+  ITRIM_RETURN_NOT_OK(run_status);
+
+  size_t arm = 0;
+  for (SchemeId id : schemes) {
+    KmeansSeries series;
+    series.scheme = SchemeName(id);
+    for (size_t ri = 0; ri < n_ratios; ++ri) {
+      double sse_acc = 0.0, dist_acc = 0.0;
+      for (size_t rep = 0; rep < n_reps; ++rep, ++arm) {
+        sse_acc += arms[arm].sse;
+        dist_acc += arms[arm].distance;
       }
       KmeansPoint point;
-      point.attack_ratio = ratio;
+      point.attack_ratio = config.attack_ratios[ri];
       point.sse = sse_acc / config.repetitions;
       point.distance = dist_acc / config.repetitions;
       series.points.push_back(point);
@@ -132,32 +200,55 @@ Result<SvmExperimentResult> RunSvmExperiment(const SvmExperimentConfig& c) {
     }
   }
 
-  for (SchemeId id : PlottedSchemes()) {
+  const std::vector<SchemeId> schemes = PlottedSchemes();
+  const size_t n_reps = ClampReps(c.repetitions);
+  struct ArmOut {
+    double accuracy = 0.0;
+    ConfusionMatrix cm;
+    explicit ArmOut(size_t classes) : cm(classes) {}
+  };
+  std::vector<ArmOut> arms(schemes.size() * n_reps,
+                           ArmOut(data.num_clusters));
+
+  Status run_status = ParallelArms(
+      arms.size(), c.threads, [&](size_t arm) -> Status {
+        const int rep = static_cast<int>(arm % n_reps);
+        const SchemeId id = schemes[arm / n_reps];
+
+        SchemeOptions opts;
+        opts.seed = c.seed + static_cast<uint64_t>(rep) * 7919;
+        SchemeInstance scheme = MakeScheme(id, c.tth, opts);
+        GameConfig game_config = MakeGameConfig(
+            c.rounds, c.round_size, c.attack_ratio, c.tth,
+            c.seed + static_cast<uint64_t>(rep) * 104729 +
+                static_cast<uint64_t>(id) * 61);
+        DistanceCollectionGame game(game_config, &data,
+                                    scheme.collector.get(),
+                                    scheme.adversary.get(),
+                                    scheme.quality.get());
+        ITRIM_RETURN_NOT_OK(game.Run().status());
+        LinearSvm model;
+        ITRIM_ASSIGN_OR_RETURN(model,
+                               LinearSvm::Train(game.retained_data(),
+                                                svm_config));
+        arms[arm].accuracy = model.Evaluate(data);
+        for (size_t i = 0; i < data.rows.size(); ++i) {
+          arms[arm].cm.Add(static_cast<size_t>(data.labels[i]),
+                           static_cast<size_t>(model.Predict(data.rows[i])));
+        }
+        return Status::OK();
+      });
+  ITRIM_RETURN_NOT_OK(run_status);
+
+  size_t arm = 0;
+  for (SchemeId id : schemes) {
     SvmSchemeResult scheme_result;
     scheme_result.scheme = SchemeName(id);
     double acc_sum = 0.0;
     ConfusionMatrix cm(data.num_clusters);
-    for (int rep = 0; rep < c.repetitions; ++rep) {
-      SchemeOptions opts;
-      opts.seed = c.seed + static_cast<uint64_t>(rep) * 7919;
-      SchemeInstance scheme = MakeScheme(id, c.tth, opts);
-      GameConfig game_config = MakeGameConfig(
-          c.rounds, c.round_size, c.attack_ratio, c.tth,
-          c.seed + static_cast<uint64_t>(rep) * 104729 +
-              static_cast<uint64_t>(id) * 61);
-      DistanceCollectionGame game(game_config, &data, scheme.collector.get(),
-                                  scheme.adversary.get(),
-                                  scheme.quality.get());
-      ITRIM_RETURN_NOT_OK(game.Run().status());
-      LinearSvm model;
-      ITRIM_ASSIGN_OR_RETURN(model,
-                             LinearSvm::Train(game.retained_data(),
-                                              svm_config));
-      acc_sum += model.Evaluate(data);
-      for (size_t i = 0; i < data.rows.size(); ++i) {
-        cm.Add(static_cast<size_t>(data.labels[i]),
-               static_cast<size_t>(model.Predict(data.rows[i])));
-      }
+    for (size_t rep = 0; rep < n_reps; ++rep, ++arm) {
+      acc_sum += arms[arm].accuracy;
+      cm.Merge(arms[arm].cm);
     }
     scheme_result.accuracy = acc_sum / c.repetitions;
     for (size_t cls = 0; cls < data.num_clusters; ++cls) {
@@ -188,47 +279,75 @@ Result<SomExperimentResult> RunSomExperiment(const SomExperimentConfig& c) {
     result.groundtruth_qe = gt_som.QuantizationError(data.rows);
   }
 
-  for (SchemeId id : PlottedSchemes()) {
+  const std::vector<SchemeId> schemes = PlottedSchemes();
+  const size_t n_reps = ClampReps(c.repetitions);
+  struct ArmOut {
+    double untrimmed_poison_fraction = 0.0;
+    double green = 0.0, fraud = 0.0, premium = 0.0;
+    double classes_represented = 0.0;
+    double quantization_error = 0.0;
+  };
+  std::vector<ArmOut> arms(schemes.size() * n_reps);
+
+  Status run_status = ParallelArms(
+      arms.size(), c.threads, [&](size_t arm) -> Status {
+        const int rep = static_cast<int>(arm % n_reps);
+        const SchemeId id = schemes[arm / n_reps];
+
+        SchemeOptions opts;
+        opts.seed = c.seed * 3 + static_cast<uint64_t>(id) +
+                    static_cast<uint64_t>(rep) * 7919;
+        SchemeInstance scheme = MakeScheme(id, c.tth, opts);
+        GameConfig game_config = MakeGameConfig(
+            c.rounds, c.round_size, c.attack_ratio, c.tth,
+            c.seed + static_cast<uint64_t>(id) * 101 +
+                static_cast<uint64_t>(rep) * 104729);
+        DistanceCollectionGame game(game_config, &data,
+                                    scheme.collector.get(),
+                                    scheme.adversary.get(),
+                                    scheme.quality.get());
+        GameSummary summary;
+        ITRIM_ASSIGN_OR_RETURN(summary, game.Run());
+
+        arms[arm].untrimmed_poison_fraction =
+            summary.UntrimmedPoisonFraction();
+        const Dataset& retained = game.retained_data();
+        const auto& poison_mask = game.retained_is_poison();
+        bool green = false, fraud = false, premium = false;
+        for (size_t i = 0; i < retained.rows.size(); ++i) {
+          if (poison_mask[i]) continue;
+          if (retained.labels[i] == 1) fraud = true;
+          if (retained.labels[i] == 2) premium = true;
+          if (retained.labels[i] == 3) green = true;
+        }
+        arms[arm].green = green ? 1.0 : 0.0;
+        arms[arm].fraud = fraud ? 1.0 : 0.0;
+        arms[arm].premium = premium ? 1.0 : 0.0;
+
+        SomConfig rep_som = som_config;
+        rep_som.seed = som_config.seed + static_cast<uint64_t>(rep) * 31;
+        Som model;
+        ITRIM_ASSIGN_OR_RETURN(model, Som::Train(retained, rep_som));
+        // Structure preservation is judged by mapping the *clean* data
+        // through the scheme-trained map.
+        arms[arm].classes_represented =
+            static_cast<double>(model.ClassesRepresented(data));
+        arms[arm].quantization_error = model.QuantizationError(data.rows);
+        return Status::OK();
+      });
+  ITRIM_RETURN_NOT_OK(run_status);
+
+  size_t arm = 0;
+  for (SchemeId id : schemes) {
     SomSchemeResult r;
     r.scheme = SchemeName(id);
-    for (int rep = 0; rep < c.repetitions; ++rep) {
-      SchemeOptions opts;
-      opts.seed = c.seed * 3 + static_cast<uint64_t>(id) +
-                  static_cast<uint64_t>(rep) * 7919;
-      SchemeInstance scheme = MakeScheme(id, c.tth, opts);
-      GameConfig game_config = MakeGameConfig(
-          c.rounds, c.round_size, c.attack_ratio, c.tth,
-          c.seed + static_cast<uint64_t>(id) * 101 +
-              static_cast<uint64_t>(rep) * 104729);
-      DistanceCollectionGame game(game_config, &data, scheme.collector.get(),
-                                  scheme.adversary.get(),
-                                  scheme.quality.get());
-      GameSummary summary;
-      ITRIM_ASSIGN_OR_RETURN(summary, game.Run());
-
-      r.untrimmed_poison_fraction += summary.UntrimmedPoisonFraction();
-      const Dataset& retained = game.retained_data();
-      const auto& poison_mask = game.retained_is_poison();
-      bool green = false, fraud = false, premium = false;
-      for (size_t i = 0; i < retained.rows.size(); ++i) {
-        if (poison_mask[i]) continue;
-        if (retained.labels[i] == 1) fraud = true;
-        if (retained.labels[i] == 2) premium = true;
-        if (retained.labels[i] == 3) green = true;
-      }
-      r.green_class_survives += green ? 1.0 : 0.0;
-      r.fraud_point_survives += fraud ? 1.0 : 0.0;
-      r.premium_point_survives += premium ? 1.0 : 0.0;
-
-      SomConfig rep_som = som_config;
-      rep_som.seed = som_config.seed + static_cast<uint64_t>(rep) * 31;
-      Som model;
-      ITRIM_ASSIGN_OR_RETURN(model, Som::Train(retained, rep_som));
-      // Structure preservation is judged by mapping the *clean* data
-      // through the scheme-trained map.
-      r.classes_represented +=
-          static_cast<double>(model.ClassesRepresented(data));
-      r.quantization_error += model.QuantizationError(data.rows);
+    for (size_t rep = 0; rep < n_reps; ++rep, ++arm) {
+      r.untrimmed_poison_fraction += arms[arm].untrimmed_poison_fraction;
+      r.green_class_survives += arms[arm].green;
+      r.fraud_point_survives += arms[arm].fraud;
+      r.premium_point_survives += arms[arm].premium;
+      r.classes_represented += arms[arm].classes_represented;
+      r.quantization_error += arms[arm].quantization_error;
     }
     double inv = 1.0 / static_cast<double>(c.repetitions);
     r.untrimmed_poison_fraction *= inv;
@@ -249,45 +368,69 @@ Result<SomExperimentResult> RunSomExperiment(const SomExperimentConfig& c) {
 Result<std::vector<NonEquilibriumRow>> RunNonEquilibriumExperiment(
     const NonEquilibriumConfig& config, const std::vector<double>& ps) {
   Dataset data = MakeControl(config.seed);
+
+  const size_t n_reps = ClampReps(config.repetitions);
+  struct ArmOut {
+    double termination = 0.0;
+    double titfortat_untrimmed = 0.0;
+    double elastic_untrimmed = 0.0;
+  };
+  std::vector<ArmOut> arms(ps.size() * n_reps);
+
+  Status run_status = ParallelArms(
+      arms.size(), config.threads, [&](size_t arm) -> Status {
+        const int rep = static_cast<int>(arm % n_reps);
+        const double p = ps[arm / n_reps];
+
+        uint64_t seed = config.seed + static_cast<uint64_t>(rep) * 92821 +
+                        static_cast<uint64_t>(p * 1000.0);
+        GameConfig game_config = MakeGameConfig(
+            config.rounds, config.round_size, config.attack_ratio,
+            config.tth, seed, /*round_mass_trimming=*/true);
+
+        // Titfortat: untriggered soft trim at Tth + 1%; once the judgement
+        // fires, trims at the 90th percentile permanently (Section VI-D).
+        double trigger_quality = p - config.redundancy;
+        TitfortatCollector titfortat(+0.01, 0.90 - config.tth,
+                                     trigger_quality);
+        MixedPercentileAdversary adversary_tft(p);
+        NoisyDefectShareQuality quality(
+            0.90, 0.99, config.sigma0, config.sigma_tail, seed ^ 0xBEEF,
+            DefectShareQuality::CutoffMode::kAbsolute);
+        DistanceCollectionGame game_tft(game_config, &data, &titfortat,
+                                        &adversary_tft, &quality);
+        GameSummary tft;
+        ITRIM_ASSIGN_OR_RETURN(tft, game_tft.Run());
+        arms[arm].termination =
+            tft.termination_round > 0
+                ? static_cast<double>(tft.termination_round)
+                : static_cast<double>(config.rounds);
+        arms[arm].titfortat_untrimmed = tft.UntrimmedPoisonFraction();
+
+        // Elastic: adapts the threshold to the observed injection position.
+        ElasticCollector elastic(config.elastic_k);
+        MixedPercentileAdversary adversary_ela(p);
+        GameConfig elastic_config = game_config;
+        elastic_config.seed = seed ^ 0xD00D;
+        DistanceCollectionGame game_ela(elastic_config, &data, &elastic,
+                                        &adversary_ela, nullptr);
+        GameSummary ela;
+        ITRIM_ASSIGN_OR_RETURN(ela, game_ela.Run());
+        arms[arm].elastic_untrimmed = ela.UntrimmedPoisonFraction();
+        return Status::OK();
+      });
+  ITRIM_RETURN_NOT_OK(run_status);
+
   std::vector<NonEquilibriumRow> rows;
+  size_t arm = 0;
   for (double p : ps) {
     NonEquilibriumRow row;
     row.p = p;
     double term_acc = 0.0, tft_acc = 0.0, ela_acc = 0.0;
-    for (int rep = 0; rep < config.repetitions; ++rep) {
-      uint64_t seed = config.seed + static_cast<uint64_t>(rep) * 92821 +
-                      static_cast<uint64_t>(p * 1000.0);
-      GameConfig game_config = MakeGameConfig(
-          config.rounds, config.round_size, config.attack_ratio, config.tth,
-          seed, /*round_mass_trimming=*/true);
-
-      // Titfortat: untriggered soft trim at Tth + 1%; once the judgement
-      // fires, trims at the 90th percentile permanently (Section VI-D).
-      double trigger_quality = p - config.redundancy;
-      TitfortatCollector titfortat(+0.01, 0.90 - config.tth, trigger_quality);
-      MixedPercentileAdversary adversary_tft(p);
-      NoisyDefectShareQuality quality(
-          0.90, 0.99, config.sigma0, config.sigma_tail, seed ^ 0xBEEF,
-          DefectShareQuality::CutoffMode::kAbsolute);
-      DistanceCollectionGame game_tft(game_config, &data, &titfortat,
-                                      &adversary_tft, &quality);
-      GameSummary tft;
-      ITRIM_ASSIGN_OR_RETURN(tft, game_tft.Run());
-      term_acc += tft.termination_round > 0
-                      ? static_cast<double>(tft.termination_round)
-                      : static_cast<double>(config.rounds);
-      tft_acc += tft.UntrimmedPoisonFraction();
-
-      // Elastic: adapts the threshold to the observed injection position.
-      ElasticCollector elastic(config.elastic_k);
-      MixedPercentileAdversary adversary_ela(p);
-      GameConfig elastic_config = game_config;
-      elastic_config.seed = seed ^ 0xD00D;
-      DistanceCollectionGame game_ela(elastic_config, &data, &elastic,
-                                      &adversary_ela, nullptr);
-      GameSummary ela;
-      ITRIM_ASSIGN_OR_RETURN(ela, game_ela.Run());
-      ela_acc += ela.UntrimmedPoisonFraction();
+    for (size_t rep = 0; rep < n_reps; ++rep, ++arm) {
+      term_acc += arms[arm].termination;
+      tft_acc += arms[arm].titfortat_untrimmed;
+      ela_acc += arms[arm].elastic_untrimmed;
     }
     row.avg_termination_round = term_acc / config.repetitions;
     row.titfortat_untrimmed = tft_acc / config.repetitions;
@@ -353,14 +496,20 @@ Result<LdpExperimentResult> RunLdpExperiment(const LdpExperimentConfig& c) {
       {"EMF", std::nan("")},
   };
 
-  for (const auto& spec : specs) {
-    LdpSeries series;
-    series.scheme = spec.name;
-    for (double eps : c.epsilons) {
-      std::unique_ptr<LdpMechanism> mechanism;
-      ITRIM_ASSIGN_OR_RETURN(mechanism, MakeMechanism(c.mechanism, eps));
-      double mse_acc = 0.0;
-      for (int rep = 0; rep < c.repetitions; ++rep) {
+  const size_t n_eps = c.epsilons.size();
+  const size_t n_reps = ClampReps(c.repetitions);
+  std::vector<double> arms(specs.size() * n_eps * n_reps, 0.0);
+
+  // Mechanism construction is a pure function of (name, ε), so each arm
+  // builds its own copy instead of sharing one across repetitions.
+  Status run_status = ParallelArms(
+      arms.size(), c.threads, [&](size_t arm) -> Status {
+        const int rep = static_cast<int>(arm % n_reps);
+        const double eps = c.epsilons[(arm / n_reps) % n_eps];
+        const SchemeSpec& spec = specs[arm / (n_reps * n_eps)];
+
+        std::unique_ptr<LdpMechanism> mechanism;
+        ITRIM_ASSIGN_OR_RETURN(mechanism, MakeMechanism(c.mechanism, eps));
         LdpGameConfig game_config;
         game_config.rounds = c.rounds;
         game_config.users_per_round = c.users_per_round;
@@ -382,9 +531,22 @@ Result<LdpExperimentResult> RunLdpExperiment(const LdpExperimentConfig& c) {
                                  game.RunTrimming(&collector, &quality));
         } else {
           ElasticCollector collector(spec.elastic_k);
-          ITRIM_ASSIGN_OR_RETURN(run, game.RunTrimming(&collector, nullptr));
+          ITRIM_ASSIGN_OR_RETURN(run,
+                                 game.RunTrimming(&collector, nullptr));
         }
-        mse_acc += run.squared_error;
+        arms[arm] = run.squared_error;
+        return Status::OK();
+      });
+  ITRIM_RETURN_NOT_OK(run_status);
+
+  size_t arm = 0;
+  for (const auto& spec : specs) {
+    LdpSeries series;
+    series.scheme = spec.name;
+    for (size_t ei = 0; ei < n_eps; ++ei) {
+      double mse_acc = 0.0;
+      for (size_t rep = 0; rep < n_reps; ++rep, ++arm) {
+        mse_acc += arms[arm];
       }
       series.mse.push_back(mse_acc / c.repetitions);
     }

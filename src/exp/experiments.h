@@ -30,6 +30,11 @@ struct KmeansExperimentConfig {
   size_t round_size = 150;
   size_t eval_size = 600;  ///< held-out clean evaluation sample
   uint64_t seed = 2024;
+  /// Parallel jobs across (scheme, ratio, repetition) arms; 0 = the
+  /// ITRIM_THREADS / hardware default, 1 = serial. Every arm derives its
+  /// own Rng stream from `seed`, and per-arm results are reduced in arm
+  /// order, so the output is bit-identical at any thread count.
+  int threads = 0;
 };
 
 /// \brief One (attack_ratio -> metrics) sample of a scheme's series.
@@ -69,6 +74,8 @@ struct SvmExperimentConfig {
   int rounds = 20;
   size_t round_size = 150;
   uint64_t seed = 77;
+  int threads = 0;  ///< parallel jobs (0 = default, 1 = serial); see
+                    ///< KmeansExperimentConfig::threads for semantics
 };
 
 /// \brief Accuracy of one scheme (plus per-class PPV of the last repetition).
@@ -100,6 +107,7 @@ struct SomExperimentConfig {
   int epochs = 6;
   int repetitions = 3;  ///< games/SOM fits averaged per scheme
   uint64_t seed = 55;
+  int threads = 0;  ///< parallel jobs (0 = default, 1 = serial)
 };
 
 /// \brief Class-structure metrics for one scheme's sanitized data,
@@ -141,6 +149,7 @@ struct NonEquilibriumConfig {
   double sigma0 = 0.005;
   double sigma_tail = 0.020;
   uint64_t seed = 31;
+  int threads = 0;  ///< parallel jobs (0 = default, 1 = serial)
 };
 
 struct NonEquilibriumRow {
@@ -187,6 +196,7 @@ struct LdpExperimentConfig {
   size_t users_per_round = 1000;
   double tth = 0.9;
   uint64_t seed = 404;
+  int threads = 0;  ///< parallel jobs (0 = default, 1 = serial)
 };
 
 struct LdpSeries {

@@ -80,6 +80,12 @@ void ConfusionMatrix::Add(size_t actual, size_t predicted) {
   ++total_;
 }
 
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  assert(other.classes_ == classes_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
 size_t ConfusionMatrix::Count(size_t actual, size_t predicted) const {
   assert(actual < classes_ && predicted < classes_);
   return cells_[actual * classes_ + predicted];

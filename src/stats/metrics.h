@@ -41,6 +41,11 @@ class ConfusionMatrix {
   /// \brief Records one (actual, predicted) pair.
   void Add(size_t actual, size_t predicted);
 
+  /// \brief Adds every cell of `other` (same class count) into this matrix.
+  /// Counts are integers, so merging per-repetition matrices in any order
+  /// equals one serially filled matrix.
+  void Merge(const ConfusionMatrix& other);
+
   /// \brief Raw count in cell (actual, predicted).
   size_t Count(size_t actual, size_t predicted) const;
 

@@ -1,0 +1,159 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace itrim {
+namespace {
+
+TEST(ThreadPoolTest, SubmittedWorkCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  auto f = pool.Submit([] {});
+  f.wait();
+}
+
+TEST(ThreadPoolTest, SubmitExceptionLandsInFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  ThreadPool* a = ThreadPool::Global();
+  ThreadPool* b = ThreadPool::Global();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->num_threads(), 1);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; }, jobs);
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool touched = false;
+  ParallelFor(0, [&](size_t) { touched = true; }, 4);
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, SingleJobEqualsSerialOrder) {
+  // jobs=1 must run inline, in index order, on the calling thread.
+  std::vector<size_t> order;
+  std::thread::id caller = std::this_thread::get_id();
+  bool on_caller = true;
+  ParallelFor(
+      16,
+      [&](size_t i) {
+        order.push_back(i);
+        if (std::this_thread::get_id() != caller) on_caller = false;
+      },
+      1);
+  EXPECT_TRUE(on_caller);
+  std::vector<size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, OrderedReductionMatchesSerialBitwise) {
+  // The contract the experiment runners rely on: per-index slots reduced in
+  // index order give the same double, bit for bit, at any width.
+  auto run = [](int jobs) {
+    std::vector<double> slot(1000);
+    ParallelFor(
+        slot.size(),
+        [&](size_t i) {
+          double x = 1.0 / (static_cast<double>(i) + 1.37);
+          slot[i] = x * x - 0.25 * x;
+        },
+        jobs);
+    double acc = 0.0;
+    for (double v : slot) acc += v;
+    return acc;
+  };
+  double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(5));
+  EXPECT_EQ(serial, run(32));
+}
+
+TEST(ParallelForTest, PropagatesLowestIndexException) {
+  for (int jobs : {1, 4}) {
+    try {
+      ParallelFor(
+          64,
+          [](size_t i) {
+            if (i % 2 == 1) throw std::out_of_range(std::to_string(i));
+          },
+          jobs);
+      FAIL() << "expected an exception at jobs=" << jobs;
+    } catch (const std::out_of_range& e) {
+      // Lowest *pending* failing index; with jobs=1 this is exactly the
+      // first failure, like a serial loop.
+      if (jobs == 1) {
+        EXPECT_STREQ(e.what(), "1");
+      }
+      EXPECT_GE(std::stoi(e.what()), 1);
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedCallsFallBackToSerial) {
+  std::atomic<int> counter{0};
+  ParallelFor(
+      4,
+      [&](size_t) {
+        // Inner call must not wait on the pool from a pool worker.
+        ParallelFor(8, [&](size_t) { ++counter; }, 4);
+      },
+      4);
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(DefaultNumThreadsTest, PositiveAndRespectsEnv) {
+  EXPECT_GE(DefaultNumThreads(), 1);
+#if !defined(_WIN32)
+  ::setenv("ITRIM_THREADS", "3", 1);
+  EXPECT_EQ(DefaultNumThreads(), 3);
+  ::setenv("ITRIM_THREADS", "not-a-number", 1);
+  EXPECT_GE(DefaultNumThreads(), 1);
+  ::unsetenv("ITRIM_THREADS");
+#endif
+}
+
+}  // namespace
+}  // namespace itrim

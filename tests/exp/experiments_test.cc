@@ -132,6 +132,124 @@ TEST(NonEquilibriumTest, TerminationTrendsDownInP) {
   }
 }
 
+TEST(KmeansExperimentTest, ThreadCountDoesNotChangeResults) {
+  // The contract of the parallel experiment engine: every (scheme, ratio,
+  // repetition) arm derives its own Rng streams and results are reduced in
+  // arm order, so N threads reproduce the 1-thread run bit for bit.
+  KmeansExperimentConfig config;
+  config.dataset = "control";
+  config.attack_ratios = {0.0, 0.3};
+  config.repetitions = 2;
+  config.rounds = 5;
+  config.round_size = 100;
+  config.eval_size = 200;
+  config.threads = 1;
+  auto serial = RunKmeansExperiment(config).ValueOrDie();
+  config.threads = 4;
+  auto parallel = RunKmeansExperiment(config).ValueOrDie();
+
+  EXPECT_EQ(serial.groundtruth_sse, parallel.groundtruth_sse);
+  ASSERT_EQ(serial.series.size(), parallel.series.size());
+  for (size_t s = 0; s < serial.series.size(); ++s) {
+    EXPECT_EQ(serial.series[s].scheme, parallel.series[s].scheme);
+    ASSERT_EQ(serial.series[s].points.size(),
+              parallel.series[s].points.size());
+    for (size_t p = 0; p < serial.series[s].points.size(); ++p) {
+      EXPECT_EQ(serial.series[s].points[p].sse,
+                parallel.series[s].points[p].sse)
+          << serial.series[s].scheme << " point " << p;
+      EXPECT_EQ(serial.series[s].points[p].distance,
+                parallel.series[s].points[p].distance)
+          << serial.series[s].scheme << " point " << p;
+    }
+  }
+}
+
+TEST(SvmExperimentTest, ThreadCountDoesNotChangeResults) {
+  SvmExperimentConfig config;
+  config.repetitions = 2;
+  config.rounds = 5;
+  config.round_size = 80;
+  config.threads = 1;
+  auto serial = RunSvmExperiment(config).ValueOrDie();
+  config.threads = 4;
+  auto parallel = RunSvmExperiment(config).ValueOrDie();
+  EXPECT_EQ(serial.groundtruth_accuracy, parallel.groundtruth_accuracy);
+  ASSERT_EQ(serial.schemes.size(), parallel.schemes.size());
+  for (size_t s = 0; s < serial.schemes.size(); ++s) {
+    EXPECT_EQ(serial.schemes[s].accuracy, parallel.schemes[s].accuracy)
+        << serial.schemes[s].scheme;
+    // Covers ConfusionMatrix::Merge: per-class PPV derives from the merged
+    // per-repetition matrices.
+    EXPECT_EQ(serial.schemes[s].class_ppv, parallel.schemes[s].class_ppv)
+        << serial.schemes[s].scheme;
+  }
+}
+
+TEST(SomExperimentTest, ThreadCountDoesNotChangeResults) {
+  SomExperimentConfig config;
+  config.dataset_size = 600;
+  config.grid = 6;
+  config.epochs = 2;
+  config.repetitions = 2;
+  config.rounds = 4;
+  config.round_size = 80;
+  config.threads = 1;
+  auto serial = RunSomExperiment(config).ValueOrDie();
+  config.threads = 4;
+  auto parallel = RunSomExperiment(config).ValueOrDie();
+  ASSERT_EQ(serial.schemes.size(), parallel.schemes.size());
+  for (size_t s = 0; s < serial.schemes.size(); ++s) {
+    const auto& a = serial.schemes[s];
+    const auto& b = parallel.schemes[s];
+    EXPECT_EQ(a.classes_represented, b.classes_represented) << a.scheme;
+    EXPECT_EQ(a.green_class_survives, b.green_class_survives) << a.scheme;
+    EXPECT_EQ(a.fraud_point_survives, b.fraud_point_survives) << a.scheme;
+    EXPECT_EQ(a.premium_point_survives, b.premium_point_survives) << a.scheme;
+    EXPECT_EQ(a.quantization_error, b.quantization_error) << a.scheme;
+    EXPECT_EQ(a.untrimmed_poison_fraction, b.untrimmed_poison_fraction)
+        << a.scheme;
+  }
+}
+
+TEST(LdpExperimentTest, ThreadCountDoesNotChangeResults) {
+  LdpExperimentConfig config;
+  config.population_size = 3000;
+  config.epsilons = {1.0, 3.0};
+  config.repetitions = 2;
+  config.rounds = 3;
+  config.users_per_round = 300;
+  config.threads = 1;
+  auto serial = RunLdpExperiment(config).ValueOrDie();
+  config.threads = 4;
+  auto parallel = RunLdpExperiment(config).ValueOrDie();
+  ASSERT_EQ(serial.series.size(), parallel.series.size());
+  for (size_t s = 0; s < serial.series.size(); ++s) {
+    EXPECT_EQ(serial.series[s].scheme, parallel.series[s].scheme);
+    EXPECT_EQ(serial.series[s].mse, parallel.series[s].mse)
+        << serial.series[s].scheme;
+  }
+}
+
+TEST(NonEquilibriumTest, ThreadCountDoesNotChangeResults) {
+  NonEquilibriumConfig config;
+  config.repetitions = 4;
+  config.round_size = 400;
+  config.rounds = 8;
+  config.threads = 1;
+  auto serial = RunNonEquilibriumExperiment(config, {0.2, 0.8}).ValueOrDie();
+  config.threads = 8;
+  auto parallel =
+      RunNonEquilibriumExperiment(config, {0.2, 0.8}).ValueOrDie();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].avg_termination_round,
+              parallel[i].avg_termination_round);
+    EXPECT_EQ(serial[i].titfortat_untrimmed, parallel[i].titfortat_untrimmed);
+    EXPECT_EQ(serial[i].elastic_untrimmed, parallel[i].elastic_untrimmed);
+  }
+}
+
 TEST(LdpExperimentTest, SmallSweepProducesSeries) {
   LdpExperimentConfig config;
   config.population_size = 5000;
