@@ -1,0 +1,222 @@
+// Microbench + exactness harness for the IndexedBoard-backed PublicBoard.
+//
+// The seed PublicBoard re-sorted its entire reservoir to answer the first
+// Quantile()/PercentileRank() after any record — O(n log n) per touched
+// query under a streaming record/query mix. The IndexedBoard backend makes
+// both O(log n). This binary
+//
+//   1. replays randomized record/query/clear sequences (including the
+//      reservoir-capacity replacement path) against a replica of the seed
+//      sort-on-invalidation board and asserts bit-exact agreement, and
+//   2. times the interleaved record+query workload on both at board size
+//      >= 100k, asserting the indexed path is at least 10x faster
+//      per query.
+//
+// `--smoke` runs the exactness phase plus a scaled-down timing comparison
+// without the speedup assertion (CI-friendly); it is registered with ctest
+// as bench/bench_micro_board_smoke.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "game/public_board.h"
+#include "stats/quantile.h"
+
+#include "bench_util.h"
+
+namespace itrim {
+namespace {
+
+// Replica of the seed PublicBoard: sort-cache invalidated by every record,
+// rebuilt by the next query. Kept bit-compatible with the seed
+// implementation (same reservoir stream, same sorted-oracle queries) so it
+// doubles as the exactness oracle. tests/game/session_test.cc carries its
+// own copy of this frozen transcription — both are snapshots of the seed
+// code and must never diverge from it (or each other).
+class LegacySortBoard {
+ public:
+  explicit LegacySortBoard(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void RecordOne(double value) {
+    ++total_recorded_;
+    if (capacity_ == 0 || values_.size() < capacity_) {
+      values_.push_back(value);
+    } else {
+      size_t j = static_cast<size_t>(rng_.UniformInt(total_recorded_));
+      if (j < capacity_) values_[j] = value;
+    }
+    cache_valid_ = false;
+  }
+
+  Result<double> Quantile(double q) const {
+    if (values_.empty()) {
+      return Status::FailedPrecondition("public board is empty");
+    }
+    EnsureSorted();
+    return QuantileSorted(sorted_cache_, q);
+  }
+
+  double PercentileRank(double x) const {
+    if (values_.empty()) return 0.0;
+    EnsureSorted();
+    return PercentileRankSorted(sorted_cache_, x);
+  }
+
+  void Clear() {
+    values_.clear();
+    sorted_cache_.clear();
+    cache_valid_ = false;
+    total_recorded_ = 0;
+  }
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  void EnsureSorted() const {
+    if (cache_valid_) return;
+    sorted_cache_ = values_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    cache_valid_ = true;
+  }
+
+  size_t capacity_;
+  size_t total_recorded_ = 0;
+  Rng rng_;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_cache_;
+  mutable bool cache_valid_ = false;
+};
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// Randomized exactness sweep: both boards see the identical op stream; any
+// query divergence is a bug in the indexed backend.
+int RunExactness(size_t ops) {
+  struct Case {
+    size_t capacity;
+    const char* label;
+  };
+  // The cap is far below the typical size between clears so the reservoir
+  // replacement path (erase old slot value, insert new) is exercised.
+  const Case cases[] = {{0, "unbounded"}, {64, "reservoir-capped"}};
+  for (const Case& c : cases) {
+    PublicBoard indexed(c.capacity, /*seed=*/99);
+    LegacySortBoard legacy(c.capacity, /*seed=*/99);
+    Rng rng(4242);
+    size_t checked = 0;
+    for (size_t i = 0; i < ops; ++i) {
+      double roll = rng.Uniform();
+      if (roll < 0.70) {
+        // Heavy-tailed values, with occasional exact duplicates to stress
+        // the multiset paths.
+        double v = rng.Uniform(-5.0, 5.0);
+        if (rng.Bernoulli(0.2)) v = std::floor(v);
+        indexed.RecordOne(v);
+        legacy.RecordOne(v);
+      } else if (roll < 0.995) {
+        double q = rng.Uniform();
+        auto a = indexed.Quantile(q);
+        auto b = legacy.Quantile(q);
+        if (a.ok() != b.ok() ||
+            (a.ok() && !BitEqual(*a, *b))) {
+          std::fprintf(stderr,
+                       "FAIL[%s]: Quantile(%.17g) diverged at op %zu\n",
+                       c.label, q, i);
+          return 1;
+        }
+        double x = rng.Uniform(-6.0, 6.0);
+        if (!BitEqual(indexed.PercentileRank(x),
+                      legacy.PercentileRank(x))) {
+          std::fprintf(stderr,
+                       "FAIL[%s]: PercentileRank(%.17g) diverged at op %zu\n",
+                       c.label, x, i);
+          return 1;
+        }
+        ++checked;
+      } else {
+        indexed.Clear();
+        legacy.Clear();
+      }
+    }
+    std::printf("exactness[%s]: %zu interleaved queries bit-identical "
+                "(final size %zu)\n",
+                c.label, checked, indexed.size());
+  }
+  return 0;
+}
+
+struct Timing {
+  double per_query_us = 0.0;
+  double checksum = 0.0;
+};
+
+// Interleaved workload: each iteration records one value then answers one
+// Quantile + one PercentileRank — the streaming pattern the seed board
+// degrades on (every query pays a full re-sort).
+template <typename Board>
+Timing TimeInterleaved(Board* board, size_t prefill, size_t iterations) {
+  Rng rng(7);
+  for (size_t i = 0; i < prefill; ++i) board->RecordOne(rng.Uniform());
+  Timing t;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < iterations; ++i) {
+    board->RecordOne(rng.Uniform());
+    t.checksum += *board->Quantile(rng.Uniform());
+    t.checksum += board->PercentileRank(rng.Uniform());
+  }
+  auto stop = std::chrono::steady_clock::now();
+  t.per_query_us =
+      std::chrono::duration<double, std::micro>(stop - start).count() /
+      static_cast<double>(2 * iterations);
+  return t;
+}
+
+}  // namespace
+}  // namespace itrim
+
+int main(int argc, char** argv) {
+  using namespace itrim;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t exact_ops =
+      static_cast<size_t>(bench::EnvInt("ITRIM_BENCH_OPS", smoke ? 4000 : 20000));
+  if (RunExactness(exact_ops) != 0) return 1;
+
+  const size_t board_size = smoke ? 20000 : 100000;
+  const size_t iterations =
+      static_cast<size_t>(bench::EnvInt("ITRIM_BENCH_QUERIES", smoke ? 20 : 60));
+
+  PublicBoard indexed(/*capacity=*/0, /*seed=*/1);
+  LegacySortBoard legacy(/*capacity=*/0, /*seed=*/1);
+  Timing ti = TimeInterleaved(&indexed, board_size, iterations);
+  Timing tl = TimeInterleaved(&legacy, board_size, iterations);
+  if (!BitEqual(ti.checksum, tl.checksum)) {
+    std::fprintf(stderr, "FAIL: timed workloads diverged (%.17g vs %.17g)\n",
+                 ti.checksum, tl.checksum);
+    return 1;
+  }
+
+  double speedup = tl.per_query_us / ti.per_query_us;
+  std::printf("\nboard size %zu, %zu record+query iterations:\n", board_size,
+              iterations);
+  std::printf("  %-28s %10.3f us/query\n", "seed sort-on-invalidation:",
+              tl.per_query_us);
+  std::printf("  %-28s %10.3f us/query\n", "IndexedBoard backend:",
+              ti.per_query_us);
+  std::printf("  speedup: %.1fx\n", speedup);
+  if (!smoke && speedup < 10.0) {
+    std::fprintf(stderr, "FAIL: expected >= 10x per-query speedup at board "
+                         "size %zu, got %.1fx\n",
+                 board_size, speedup);
+    return 1;
+  }
+  return 0;
+}

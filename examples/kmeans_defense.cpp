@@ -9,7 +9,7 @@
 
 #include "data/generators.h"
 #include "exp/schemes.h"
-#include "game/collection_game.h"
+#include "game/score_model.h"
 #include "ml/kmeans.h"
 #include "stats/metrics.h"
 
@@ -45,15 +45,14 @@ int main(int argc, char** argv) {
     config.tth = 0.9;
     config.round_mass_trimming = true;  // the Fig 4 pipeline semantics
     config.seed = 7;
-    DistanceCollectionGame game(config, &control, scheme.collector.get(),
-                                scheme.adversary.get(), scheme.quality.get());
-    auto summary = game.Run();
+    DistanceScoreModel game_model(&control);
+    auto summary = RunSchemeSession(config, &scheme, &game_model);
     if (!summary.ok()) {
       std::fprintf(stderr, "%s: %s\n", scheme.name.c_str(),
                    summary.status().ToString().c_str());
       return 1;
     }
-    auto model = KMeans(game.retained_data().rows, km);
+    auto model = KMeans(game_model.retained_data().rows, km);
     if (!model.ok()) {
       std::fprintf(stderr, "%s: %s\n", scheme.name.c_str(),
                    model.status().ToString().c_str());

@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
                 r.squared_error);
   };
 
+  // The configuration is validated at construction; a bad field (say
+  // tth = 1.2) would surface here from every Run* with its message rather
+  // than silently running.
   LdpCollectionGame game(config, &population, &mechanism, &attack);
   auto none = game.RunUndefended();
   auto emf = game.RunEmf(EmfConfig{});
@@ -51,9 +54,12 @@ int main(int argc, char** argv) {
   auto tft = game.RunTrimming(&titfortat, &quality);
   ElasticCollector elastic(0.5);
   auto ela = game.RunTrimming(&elastic, nullptr);
-  if (!none.ok() || !emf.ok() || !tft.ok() || !ela.ok()) {
-    std::fprintf(stderr, "run failed\n");
-    return 1;
+  for (const auto* r : {&none, &emf, &tft, &ela}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   r->status().ToString().c_str());
+      return 1;
+    }
   }
   std::printf("true mean: %.5f\n", none->true_mean);
   report("none (Ostrich)", *none);

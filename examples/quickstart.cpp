@@ -1,14 +1,17 @@
 // Quickstart: defend a streaming collection against an evasive adversary in
 // ~40 lines.
 //
-// A collector gathers uniform data over 15 rounds while a white-box
-// adversary injects 20% poison just below whatever it learned about the
-// collector's threshold. We run the Elastic strategy (Algorithm 2) against
-// it and print the per-round interaction plus the final bookkeeping.
+// A collector gathers uniform data while a white-box adversary injects 20%
+// poison just below whatever it learned about the collector's threshold. We
+// run the Elastic strategy (Algorithm 2) against it through the streaming
+// TrimmingSession API — Bootstrap() fixes the clean percentile reference,
+// each Step() plays one round as it "arrives" and reports the interaction
+// live, Finish() closes the book.
 #include <cstdio>
 
 #include "common/rng.h"
-#include "game/collection_game.h"
+#include "game/score_model.h"
+#include "game/session.h"
 #include "game/strategies.h"
 
 int main() {
@@ -33,27 +36,36 @@ int main() {
   // The threat: an adversary that mirrors the collector's last threshold.
   ElasticAdversary adversary(0.5);
 
-  ScalarCollectionGame game(config, &benign_pool, &collector, &adversary,
-                            /*quality=*/nullptr);
-  auto summary = game.Run();
-  if (!summary.ok()) {
-    std::fprintf(stderr, "game failed: %s\n",
-                 summary.status().ToString().c_str());
+  // Scalar setting (score == value) driven one round at a time.
+  IdentityScoreModel model(&benign_pool);
+  TrimmingSession session(config, &model, &collector, &adversary,
+                          /*quality=*/nullptr);
+  if (Status s = session.Bootstrap(); !s.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
     return 1;
   }
 
   std::printf("round  trim@pct  inject@pct  benign kept  poison kept\n");
-  for (const auto& r : summary->rounds) {
+  for (int round = 1; round <= config.rounds; ++round) {
+    auto record = session.Step();
+    if (!record.ok()) {
+      std::fprintf(stderr, "round %d failed: %s\n", round,
+                   record.status().ToString().c_str());
+      return 1;
+    }
     std::printf("%5d    %.4f      %.4f      %4zu/%zu      %3zu/%zu\n",
-                r.round, r.collector_percentile, r.injection_percentile,
-                r.benign_kept, r.benign_received, r.poison_kept,
-                r.poison_received);
+                record->round, record->collector_percentile,
+                record->injection_percentile, record->benign_kept,
+                record->benign_received, record->poison_kept,
+                record->poison_received);
   }
+
+  GameSummary summary = session.Finish();
   std::printf(
       "\nuntrimmed poison fraction: %.4f\nbenign loss fraction:      %.4f\n"
       "(the coupled dynamics converge: the adversary is pushed ~4%% below "
       "the nominal threshold,\n where its poison is barely distinguishable "
       "from honest data)\n",
-      summary->UntrimmedPoisonFraction(), summary->BenignLossFraction());
+      summary.UntrimmedPoisonFraction(), summary.BenignLossFraction());
   return 0;
 }

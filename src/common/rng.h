@@ -94,6 +94,25 @@ class Rng {
   /// \brief Derives an independent child generator (for parallel arms).
   Rng Fork();
 
+  /// \brief Full generator state, for checkpoint/restore of streaming
+  /// sessions. Includes the Box–Muller carry so a restored stream continues
+  /// bit-identically even mid normal-pair.
+  struct Snapshot {
+    std::array<uint64_t, 4> state = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  /// \brief Captures the current state.
+  Snapshot Save() const { return {s_, have_cached_normal_, cached_normal_}; }
+
+  /// \brief Restores a previously captured state.
+  void Restore(const Snapshot& snapshot) {
+    s_ = snapshot.state;
+    have_cached_normal_ = snapshot.have_cached_normal;
+    cached_normal_ = snapshot.cached_normal;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

@@ -9,6 +9,8 @@
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 #include "data/generators.h"
+#include "game/score_model.h"
+#include "game/session.h"
 #include "ldp/attacks.h"
 #include "ldp/ldp_game.h"
 #include "ldp/mechanism.h"
@@ -131,12 +133,14 @@ Result<KmeansExperimentResult> RunKmeansExperiment(
             config.seed + static_cast<uint64_t>(rep) * 104729 +
                 static_cast<uint64_t>(id) * 31 +
                 static_cast<uint64_t>(ratio * 10000.0) * 131);
-        DistanceCollectionGame game(game_config, &data,
-                                    scheme.collector.get(),
-                                    scheme.adversary.get(),
-                                    scheme.quality.get());
-        ITRIM_RETURN_NOT_OK(game.Run().status());
-        const Dataset& retained = game.retained_data();
+        // Experiments drive the streaming engine directly (the batch
+        // adapters are bit-identical sugar over the same session).
+        DistanceScoreModel game_model(&data);
+        TrimmingSession session(game_config, &game_model,
+                                scheme.collector.get(),
+                                scheme.adversary.get(), scheme.quality.get());
+        ITRIM_RETURN_NOT_OK(session.RunToCompletion().status());
+        const Dataset& retained = game_model.retained_data();
         if (retained.rows.size() < km.k) {
           return Status::Internal("scheme " + SchemeName(id) +
                                   " retained too few rows");
@@ -222,14 +226,14 @@ Result<SvmExperimentResult> RunSvmExperiment(const SvmExperimentConfig& c) {
             c.rounds, c.round_size, c.attack_ratio, c.tth,
             c.seed + static_cast<uint64_t>(rep) * 104729 +
                 static_cast<uint64_t>(id) * 61);
-        DistanceCollectionGame game(game_config, &data,
-                                    scheme.collector.get(),
-                                    scheme.adversary.get(),
-                                    scheme.quality.get());
-        ITRIM_RETURN_NOT_OK(game.Run().status());
+        DistanceScoreModel game_model(&data);
+        TrimmingSession session(game_config, &game_model,
+                                scheme.collector.get(),
+                                scheme.adversary.get(), scheme.quality.get());
+        ITRIM_RETURN_NOT_OK(session.RunToCompletion().status());
         LinearSvm model;
         ITRIM_ASSIGN_OR_RETURN(model,
-                               LinearSvm::Train(game.retained_data(),
+                               LinearSvm::Train(game_model.retained_data(),
                                                 svm_config));
         arms[arm].accuracy = model.Evaluate(data);
         for (size_t i = 0; i < data.rows.size(); ++i) {
@@ -302,17 +306,17 @@ Result<SomExperimentResult> RunSomExperiment(const SomExperimentConfig& c) {
             c.rounds, c.round_size, c.attack_ratio, c.tth,
             c.seed + static_cast<uint64_t>(id) * 101 +
                 static_cast<uint64_t>(rep) * 104729);
-        DistanceCollectionGame game(game_config, &data,
-                                    scheme.collector.get(),
-                                    scheme.adversary.get(),
-                                    scheme.quality.get());
+        DistanceScoreModel game_model(&data);
+        TrimmingSession session(game_config, &game_model,
+                                scheme.collector.get(),
+                                scheme.adversary.get(), scheme.quality.get());
         GameSummary summary;
-        ITRIM_ASSIGN_OR_RETURN(summary, game.Run());
+        ITRIM_ASSIGN_OR_RETURN(summary, session.RunToCompletion());
 
         arms[arm].untrimmed_poison_fraction =
             summary.UntrimmedPoisonFraction();
-        const Dataset& retained = game.retained_data();
-        const auto& poison_mask = game.retained_is_poison();
+        const Dataset& retained = game_model.retained_data();
+        const auto& poison_mask = game_model.retained_is_poison();
         bool green = false, fraud = false, premium = false;
         for (size_t i = 0; i < retained.rows.size(); ++i) {
           if (poison_mask[i]) continue;
@@ -397,10 +401,11 @@ Result<std::vector<NonEquilibriumRow>> RunNonEquilibriumExperiment(
         NoisyDefectShareQuality quality(
             0.90, 0.99, config.sigma0, config.sigma_tail, seed ^ 0xBEEF,
             DefectShareQuality::CutoffMode::kAbsolute);
-        DistanceCollectionGame game_tft(game_config, &data, &titfortat,
-                                        &adversary_tft, &quality);
+        DistanceScoreModel model_tft(&data);
+        TrimmingSession game_tft(game_config, &model_tft, &titfortat,
+                                 &adversary_tft, &quality);
         GameSummary tft;
-        ITRIM_ASSIGN_OR_RETURN(tft, game_tft.Run());
+        ITRIM_ASSIGN_OR_RETURN(tft, game_tft.RunToCompletion());
         arms[arm].termination =
             tft.termination_round > 0
                 ? static_cast<double>(tft.termination_round)
@@ -412,10 +417,11 @@ Result<std::vector<NonEquilibriumRow>> RunNonEquilibriumExperiment(
         MixedPercentileAdversary adversary_ela(p);
         GameConfig elastic_config = game_config;
         elastic_config.seed = seed ^ 0xD00D;
-        DistanceCollectionGame game_ela(elastic_config, &data, &elastic,
-                                        &adversary_ela, nullptr);
+        DistanceScoreModel model_ela(&data);
+        TrimmingSession game_ela(elastic_config, &model_ela, &elastic,
+                                 &adversary_ela, nullptr);
         GameSummary ela;
-        ITRIM_ASSIGN_OR_RETURN(ela, game_ela.Run());
+        ITRIM_ASSIGN_OR_RETURN(ela, game_ela.RunToCompletion());
         arms[arm].elastic_untrimmed = ela.UntrimmedPoisonFraction();
         return Status::OK();
       });

@@ -1,5 +1,7 @@
 #include "exp/schemes.h"
 
+#include "game/score_model.h"
+
 namespace itrim {
 
 std::string SchemeName(SchemeId id) {
@@ -70,6 +72,14 @@ SchemeInstance MakeScheme(SchemeId id, double tth,
       break;
   }
   return s;
+}
+
+Result<GameSummary> RunSchemeSession(const GameConfig& config,
+                                     SchemeInstance* scheme,
+                                     ScoreModel* model) {
+  TrimmingSession session(config, model, scheme->collector.get(),
+                          scheme->adversary.get(), scheme->quality.get());
+  return session.RunToCompletion();
 }
 
 std::vector<SchemeId> PlottedSchemes() {

@@ -17,10 +17,14 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "game/quality.h"
+#include "game/session.h"
 #include "game/strategies.h"
 
 namespace itrim {
+
+class ScoreModel;
 
 /// \brief Identifier of an evaluation scheme.
 enum class SchemeId {
@@ -59,6 +63,14 @@ struct SchemeOptions {
 /// \brief Builds the scheme's strategy objects for nominal threshold `tth`.
 SchemeInstance MakeScheme(SchemeId id, double tth,
                           const SchemeOptions& options = {});
+
+/// \brief Plays `scheme` over `model` through a TrimmingSession — the
+/// round-loop shape every experiment pipeline uses. The scheme's strategy
+/// objects are Reset() by the session; `model` keeps the retained
+/// (sanitized) output for the caller.
+Result<GameSummary> RunSchemeSession(const GameConfig& config,
+                                     SchemeInstance* scheme,
+                                     ScoreModel* model);
 
 /// \brief All six plotted schemes, in the paper's legend order.
 std::vector<SchemeId> PlottedSchemes();

@@ -1,225 +1,21 @@
 #include "game/collection_game.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
-
-#include "common/math_util.h"
-#include "stats/quantile.h"
 
 namespace itrim {
-
-Status GameConfig::Validate() const {
-  if (rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
-  if (round_size == 0) return Status::InvalidArgument("round_size must be > 0");
-  if (attack_ratio < 0.0) {
-    return Status::InvalidArgument("attack_ratio must be >= 0");
-  }
-  if (!(tth > 0.0 && tth < 1.0)) {
-    return Status::InvalidArgument("tth must be in (0,1)");
-  }
-  if (bootstrap_size == 0) {
-    return Status::InvalidArgument("bootstrap_size must be > 0");
-  }
-  return Status::OK();
-}
-
-double GameSummary::UntrimmedPoisonFraction() const {
-  size_t kept = TotalKept();
-  if (kept == 0) return 0.0;
-  return static_cast<double>(TotalPoisonKept()) / static_cast<double>(kept);
-}
-
-double GameSummary::BenignLossFraction() const {
-  size_t received = 0, kept = 0;
-  for (const auto& r : rounds) {
-    received += r.benign_received;
-    kept += r.benign_kept;
-  }
-  if (received == 0) return 0.0;
-  return static_cast<double>(received - kept) / static_cast<double>(received);
-}
-
-double GameSummary::PoisonSurvivalRate() const {
-  size_t received = 0, kept = 0;
-  for (const auto& r : rounds) {
-    received += r.poison_received;
-    kept += r.poison_kept;
-  }
-  if (received == 0) return 0.0;
-  return static_cast<double>(kept) / static_cast<double>(received);
-}
-
-size_t GameSummary::TotalKept() const {
-  size_t n = 0;
-  for (const auto& r : rounds) n += r.benign_kept + r.poison_kept;
-  return n;
-}
-
-size_t GameSummary::TotalPoisonKept() const {
-  size_t n = 0;
-  for (const auto& r : rounds) n += r.poison_kept;
-  return n;
-}
-
-size_t GameSummary::TotalBenignKept() const {
-  size_t n = 0;
-  for (const auto& r : rounds) n += r.benign_kept;
-  return n;
-}
-
-namespace {
-
-// Builds the context both strategies see at the start of round i.
-RoundContext MakeContext(int round, const GameConfig& config,
-                         const PublicBoard* board,
-                         const RoundObservation* prev) {
-  RoundContext ctx;
-  ctx.round = round;
-  ctx.tth = config.tth;
-  ctx.board = board;
-  if (prev != nullptr) {
-    ctx.prev_collector_percentile = prev->collector_percentile;
-    ctx.prev_injection_percentile = prev->injection_percentile;
-    ctx.prev_quality = prev->quality;
-  }
-  return ctx;
-}
-
-}  // namespace
 
 ScalarCollectionGame::ScalarCollectionGame(
     GameConfig config, const std::vector<double>* benign_pool,
     CollectorStrategy* collector, AdversaryStrategy* adversary,
     QualityEvaluation* quality)
-    : config_(config), benign_pool_(benign_pool), collector_(collector),
-      adversary_(adversary), quality_(quality),
-      board_(config.board_capacity, config.seed ^ 0x9E3779B97F4A7C15ULL) {
+    : model_(benign_pool),
+      session_(config, &model_, collector, adversary, quality) {
   assert(benign_pool != nullptr && collector != nullptr &&
          adversary != nullptr);
 }
 
 Result<GameSummary> ScalarCollectionGame::Run() {
-  ITRIM_RETURN_NOT_OK(config_.Validate());
-  if (benign_pool_->empty()) {
-    return Status::FailedPrecondition("benign pool is empty");
-  }
-  Rng rng(config_.seed);
-  collector_->Reset();
-  adversary_->Reset();
-  board_.Clear();
-  retained_.clear();
-  retained_is_poison_.clear();
-
-  // Round 0: a clean calibration sample seeds the public board and fixes
-  // the percentile reference both parties speak in. Trimming against a
-  // reference that absorbed its own truncated output would spiral the
-  // cutoff downward; anchoring it on the clean round-0 sample (the same
-  // sample Algorithm 1's QE(X0) baseline comes from) keeps the percentile
-  // domain stable, while all adaptivity lives in the strategies.
-  for (size_t i = 0; i < config_.bootstrap_size; ++i) {
-    board_.RecordOne(
-        (*benign_pool_)[rng.UniformInt(benign_pool_->size())]);
-  }
-
-  GameSummary summary;
-  RoundObservation prev;
-  bool have_prev = false;
-  // Fractional poison accrues across rounds so that tiny attack ratios
-  // (fewer than one poison value per round) still inject the right total.
-  double poison_quota = 0.0;
-
-  for (int round = 1; round <= config_.rounds; ++round) {
-    poison_quota +=
-        config_.attack_ratio * static_cast<double>(config_.round_size);
-    const size_t poison_count = static_cast<size_t>(poison_quota);
-    poison_quota -= static_cast<double>(poison_count);
-    RoundContext ctx =
-        MakeContext(round, config_, &board_, have_prev ? &prev : nullptr);
-    double trim_percentile = collector_->TrimPercentile(ctx);
-
-    // Benign arrivals.
-    std::vector<double> received;
-    std::vector<char> is_poison;
-    received.reserve(config_.round_size + poison_count);
-    is_poison.reserve(config_.round_size + poison_count);
-    for (size_t i = 0; i < config_.round_size; ++i) {
-      received.push_back(
-          (*benign_pool_)[rng.UniformInt(benign_pool_->size())]);
-      is_poison.push_back(0);
-    }
-    // Poison injection at board-percentile positions.
-    double injection_sum = 0.0;
-    for (size_t i = 0; i < poison_count; ++i) {
-      double a = adversary_->InjectionPercentile(ctx, &rng);
-      a = Clamp(a, 0.0, 1.0);
-      injection_sum += a;
-      ITRIM_ASSIGN_OR_RETURN(double value, board_.Quantile(a));
-      received.push_back(value);
-      is_poison.push_back(1);
-    }
-    double injection_mean =
-        poison_count > 0 ? injection_sum / static_cast<double>(poison_count)
-                         : std::nan("");
-
-    // Quality is assessed on the received (pre-trim) round.
-    double quality_score =
-        quality_ != nullptr ? quality_->Evaluate(received, board_) : 1.0;
-
-    // Trim.
-    TrimOutcome outcome;
-    if (trim_percentile >= 1.0) {
-      outcome.keep.assign(received.size(), 1);
-      outcome.kept_count = received.size();
-      outcome.cutoff = std::numeric_limits<double>::infinity();
-    } else if (config_.round_mass_trimming) {
-      outcome = TrimTopFraction(received, trim_percentile);
-    } else {
-      ITRIM_ASSIGN_OR_RETURN(
-          outcome,
-          TrimAtReferencePercentile(received, board_.values(),
-                                    trim_percentile));
-    }
-
-    RoundRecord record;
-    record.round = round;
-    record.collector_percentile = trim_percentile;
-    record.injection_percentile = injection_mean;
-    record.cutoff = outcome.cutoff;
-    record.quality = quality_score;
-    for (size_t i = 0; i < received.size(); ++i) {
-      bool poison = is_poison[i] != 0;
-      if (poison) {
-        ++record.poison_received;
-      } else {
-        ++record.benign_received;
-      }
-      if (outcome.keep[i]) {
-        if (poison) {
-          ++record.poison_kept;
-        } else {
-          ++record.benign_kept;
-        }
-        retained_.push_back(received[i]);
-        retained_is_poison_.push_back(is_poison[i]);
-      }
-    }
-    summary.rounds.push_back(record);
-
-    prev = RoundObservation{round,
-                            trim_percentile,
-                            injection_mean,
-                            quality_score,
-                            received.size(),
-                            record.benign_kept + record.poison_kept,
-                            record.poison_received,
-                            record.poison_kept};
-    have_prev = true;
-    collector_->Observe(prev);
-    adversary_->Observe(prev);
-  }
-  summary.termination_round = collector_->termination_round();
-  return summary;
+  return session_.RunToCompletion();
 }
 
 DistanceCollectionGame::DistanceCollectionGame(GameConfig config,
@@ -227,165 +23,13 @@ DistanceCollectionGame::DistanceCollectionGame(GameConfig config,
                                                CollectorStrategy* collector,
                                                AdversaryStrategy* adversary,
                                                QualityEvaluation* quality)
-    : config_(config), source_(source), collector_(collector),
-      adversary_(adversary), quality_(quality),
-      distance_board_(config.board_capacity,
-                      config.seed ^ 0xC2B2AE3D27D4EB4FULL) {
+    : model_(source),
+      session_(config, &model_, collector, adversary, quality) {
   assert(source != nullptr && collector != nullptr && adversary != nullptr);
 }
 
 Result<GameSummary> DistanceCollectionGame::Run() {
-  ITRIM_RETURN_NOT_OK(config_.Validate());
-  if (source_->rows.empty()) {
-    return Status::FailedPrecondition("source dataset is empty");
-  }
-  Rng rng(config_.seed);
-  collector_->Reset();
-  adversary_->Reset();
-  distance_board_.Clear();
-  retained_ = Dataset{};
-  retained_.name = source_->name + "/retained";
-  retained_.num_clusters = source_->num_clusters;
-  retained_is_poison_.clear();
-
-  // Round 0: the clean calibration sample fixes the percentile geometry
-  // (per-feature quantile-vector map) and seeds the board with benign
-  // position scores.
-  std::vector<std::vector<double>> bootstrap;
-  bootstrap.reserve(config_.bootstrap_size);
-  for (size_t i = 0; i < config_.bootstrap_size; ++i) {
-    bootstrap.push_back(source_->rows[rng.UniformInt(source_->rows.size())]);
-  }
-  ITRIM_ASSIGN_OR_RETURN(position_map_, PositionMap::Build(bootstrap));
-  centroid_ = position_map_.centroid();
-  for (const auto& row : bootstrap) {
-    distance_board_.RecordOne(position_map_.PositionOfRow(row));
-  }
-
-  GameSummary summary;
-  RoundObservation prev;
-  bool have_prev = false;
-  const bool labeled = source_->labeled();
-  // Fractional poison accrues across rounds (see ScalarCollectionGame).
-  double poison_quota = 0.0;
-
-  for (int round = 1; round <= config_.rounds; ++round) {
-    poison_quota +=
-        config_.attack_ratio * static_cast<double>(config_.round_size);
-    const size_t poison_count = static_cast<size_t>(poison_quota);
-    poison_quota -= static_cast<double>(poison_count);
-    RoundContext ctx = MakeContext(round, config_, &distance_board_,
-                                   have_prev ? &prev : nullptr);
-    double trim_percentile = collector_->TrimPercentile(ctx);
-
-    std::vector<std::vector<double>> received;
-    std::vector<int> received_labels;
-    std::vector<char> is_poison;
-    received.reserve(config_.round_size + poison_count);
-    for (size_t i = 0; i < config_.round_size; ++i) {
-      size_t idx = static_cast<size_t>(rng.UniformInt(source_->rows.size()));
-      received.push_back(source_->rows[idx]);
-      if (labeled) received_labels.push_back(source_->labels[idx]);
-      is_poison.push_back(0);
-    }
-
-    // Colluding Sybil attackers share one direction per round: the
-    // data-meaningful quantile direction ("all features high"), jittered so
-    // rounds do not stack on one exact ray.
-    std::vector<double> direction = rng.UnitVector(source_->dims());
-    {
-      const auto& qdir = position_map_.quantile_direction();
-      double norm_sq = 0.0;
-      for (size_t j = 0; j < direction.size(); ++j) {
-        direction[j] = qdir[j] + 0.5 * direction[j];
-        norm_sq += direction[j] * direction[j];
-      }
-      double inv = 1.0 / std::sqrt(norm_sq);
-      for (double& v : direction) v *= inv;
-    }
-    double injection_sum = 0.0;
-    for (size_t i = 0; i < poison_count; ++i) {
-      double a = adversary_->InjectionPercentile(ctx, &rng);
-      a = Clamp(a, 0.0, 1.5);
-      injection_sum += a;
-      received.push_back(position_map_.MakePoint(a, direction));
-      if (labeled) {
-        // Opportunistic label claims: drawn at random per value, which
-        // plants *contradictory* constraints at the injection point — for a
-        // max-margin learner that forces slack and distorts the weights far
-        // more than a consistently-labeled cluster would.
-        received_labels.push_back(static_cast<int>(
-            rng.UniformInt(std::max<size_t>(1, source_->num_clusters))));
-      }
-      is_poison.push_back(1);
-    }
-    double injection_mean =
-        poison_count > 0 ? injection_sum / static_cast<double>(poison_count)
-                         : std::nan("");
-
-    // Score every row by its percentile position; the whole round plays out
-    // in the shared percentile coordinate.
-    std::vector<double> scores;
-    scores.reserve(received.size());
-    for (const auto& row : received) {
-      scores.push_back(position_map_.PositionOfRow(row));
-    }
-    double quality_score =
-        quality_ != nullptr ? quality_->Evaluate(scores, distance_board_)
-                            : 1.0;
-
-    TrimOutcome outcome;
-    if (trim_percentile >= 1.0) {
-      outcome.keep.assign(received.size(), 1);
-      outcome.kept_count = received.size();
-      outcome.cutoff = std::numeric_limits<double>::infinity();
-    } else if (config_.round_mass_trimming) {
-      outcome = TrimTopFraction(scores, trim_percentile);
-    } else {
-      // Positions *are* percentiles: the threshold applies directly.
-      outcome = TrimAboveValue(scores, trim_percentile);
-    }
-
-    RoundRecord record;
-    record.round = round;
-    record.collector_percentile = trim_percentile;
-    record.injection_percentile = injection_mean;
-    record.cutoff = outcome.cutoff;
-    record.quality = quality_score;
-    for (size_t i = 0; i < received.size(); ++i) {
-      bool poison = is_poison[i] != 0;
-      if (poison) {
-        ++record.poison_received;
-      } else {
-        ++record.benign_received;
-      }
-      if (outcome.keep[i]) {
-        if (poison) {
-          ++record.poison_kept;
-        } else {
-          ++record.benign_kept;
-        }
-        retained_.rows.push_back(std::move(received[i]));
-        if (labeled) retained_.labels.push_back(received_labels[i]);
-        retained_is_poison_.push_back(is_poison[i]);
-      }
-    }
-    summary.rounds.push_back(record);
-
-    prev = RoundObservation{round,
-                            trim_percentile,
-                            injection_mean,
-                            quality_score,
-                            received.size(),
-                            record.benign_kept + record.poison_kept,
-                            record.poison_received,
-                            record.poison_kept};
-    have_prev = true;
-    collector_->Observe(prev);
-    adversary_->Observe(prev);
-  }
-  summary.termination_round = collector_->termination_round();
-  return summary;
+  return session_.RunToCompletion();
 }
 
 }  // namespace itrim

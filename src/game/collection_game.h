@@ -1,15 +1,20 @@
-// The round-wise online collection game (Fig 3).
+// Batch adapters over the streaming collection-game engine (Fig 3).
 //
-// Each round: the collector picks a trim percentile from the public board,
-// normal users contribute benign samples, the adversary injects poison at
-// percentile positions of its choosing, the round is trimmed, survivors are
-// recorded on the board, and both parties observe the outcome. Two variants:
+// The round protocol lives in TrimmingSession (game/session.h) and the
+// data-setting specifics in the ScoreModels (game/score_model.h); the two
+// classes here bundle a model with a session and play the configured number
+// of rounds in one Run() call:
 //
 //  * ScalarCollectionGame  — 1-D values (the LDP / Taxi setting).
 //  * DistanceCollectionGame — d-dimensional rows scored through the
 //    PositionMap percentile geometry (the k-means / SVM / SOM setting);
 //    poison rows are fabricated at a target percentile position along a
 //    shared random direction (colluding Sybil attackers).
+//
+// Both adapters reproduce the pre-refactor monolithic Run() loops bit for
+// bit at fixed seed (tests/game/session_test.cc holds replicas of the seed
+// loops and asserts GameSummary equality across every scheme). Incremental
+// consumers should use TrimmingSession directly.
 #ifndef ITRIM_GAME_COLLECTION_GAME_H_
 #define ITRIM_GAME_COLLECTION_GAME_H_
 
@@ -22,57 +27,12 @@
 #include "game/position_map.h"
 #include "game/public_board.h"
 #include "game/quality.h"
+#include "game/score_model.h"
+#include "game/session.h"
 #include "game/strategies.h"
 #include "game/trimmer.h"
 
 namespace itrim {
-
-/// \brief Configuration shared by both game variants.
-struct GameConfig {
-  int rounds = 20;              ///< number of collection rounds
-  size_t round_size = 500;      ///< benign samples per round
-  double attack_ratio = 0.1;    ///< poison count = attack_ratio * round_size
-  double tth = 0.9;             ///< nominal threshold percentile
-  size_t bootstrap_size = 500;  ///< clean board seed (round 0)
-  size_t board_capacity = 20000;  ///< reservoir cap (0 = unbounded)
-  /// When true, trimming removes the top (1 - q) fraction of the received
-  /// round itself instead of cutting at the board's q-quantile value.
-  bool round_mass_trimming = false;
-  uint64_t seed = 42;
-
-  Status Validate() const;
-};
-
-/// \brief Per-round bookkeeping of one game run.
-struct RoundRecord {
-  int round = 0;
-  double collector_percentile = kNoTrim;
-  double injection_percentile = 0.0;  ///< mean over this round's poison
-  double cutoff = 0.0;
-  double quality = 1.0;
-  size_t benign_received = 0;
-  size_t poison_received = 0;
-  size_t benign_kept = 0;
-  size_t poison_kept = 0;
-};
-
-/// \brief Outcome of a full game run.
-struct GameSummary {
-  std::vector<RoundRecord> rounds;
-  /// 0 when the collector's judgement never triggered.
-  int termination_round = 0;
-
-  /// \brief Poison kept / total kept, across all rounds.
-  double UntrimmedPoisonFraction() const;
-  /// \brief Benign removed / benign received, across all rounds.
-  double BenignLossFraction() const;
-  /// \brief Poison kept / poison received, across all rounds.
-  double PoisonSurvivalRate() const;
-
-  size_t TotalKept() const;
-  size_t TotalPoisonKept() const;
-  size_t TotalBenignKept() const;
-};
 
 /// \brief Scalar (1-D) collection game.
 class ScalarCollectionGame {
@@ -90,23 +50,19 @@ class ScalarCollectionGame {
   Result<GameSummary> Run();
 
   /// \brief Retained values accumulated by the last Run().
-  const std::vector<double>& retained() const { return retained_; }
+  const std::vector<double>& retained() const { return model_.retained(); }
   /// \brief Poison flags parallel to retained().
   const std::vector<char>& retained_is_poison() const {
-    return retained_is_poison_;
+    return model_.retained_is_poison();
   }
   /// \brief The public board state after the last Run().
-  const PublicBoard& board() const { return board_; }
+  const PublicBoard& board() const { return session_.board(); }
+  /// \brief The underlying streaming session (for incremental use).
+  TrimmingSession& session() { return session_; }
 
  private:
-  GameConfig config_;
-  const std::vector<double>* benign_pool_;
-  CollectorStrategy* collector_;
-  AdversaryStrategy* adversary_;
-  QualityEvaluation* quality_;
-  PublicBoard board_;
-  std::vector<double> retained_;
-  std::vector<char> retained_is_poison_;
+  IdentityScoreModel model_;
+  TrimmingSession session_;
 };
 
 /// \brief Multi-dimensional collection game with distance-based trimming.
@@ -123,29 +79,26 @@ class DistanceCollectionGame {
   Result<GameSummary> Run();
 
   /// \brief Survivor rows + labels after the last Run().
-  const Dataset& retained_data() const { return retained_; }
+  const Dataset& retained_data() const { return model_.retained_data(); }
   /// \brief Poison flags parallel to retained_data().rows.
   const std::vector<char>& retained_is_poison() const {
-    return retained_is_poison_;
+    return model_.retained_is_poison();
   }
   /// \brief Reference centroid fixed from the clean bootstrap sample.
-  const std::vector<double>& reference_centroid() const { return centroid_; }
+  const std::vector<double>& reference_centroid() const {
+    return model_.reference_centroid();
+  }
 
   /// \brief The percentile geometry built from the bootstrap (valid after
   /// Run()).
-  const PositionMap& position_map() const { return position_map_; }
+  const PositionMap& position_map() const { return model_.position_map(); }
+
+  /// \brief The underlying streaming session (for incremental use).
+  TrimmingSession& session() { return session_; }
 
  private:
-  GameConfig config_;
-  const Dataset* source_;
-  CollectorStrategy* collector_;
-  AdversaryStrategy* adversary_;
-  QualityEvaluation* quality_;
-  PublicBoard distance_board_;
-  PositionMap position_map_;
-  std::vector<double> centroid_;
-  Dataset retained_;
-  std::vector<char> retained_is_poison_;
+  DistanceScoreModel model_;
+  TrimmingSession session_;
 };
 
 }  // namespace itrim

@@ -1,0 +1,145 @@
+#include "game/indexed_board.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace itrim {
+
+void IndexedBoard::Pull(uint32_t t) {
+  Node& node = nodes_[t];
+  node.count = 1 + CountOf(node.left) + CountOf(node.right);
+}
+
+uint32_t IndexedBoard::NewNode(double value) {
+  uint32_t t;
+  if (!free_.empty()) {
+    t = free_.back();
+    free_.pop_back();
+    nodes_[t] = Node{};
+  } else {
+    t = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[t].value = value;
+  nodes_[t].priority = priorities_.Next();
+  return t;
+}
+
+void IndexedBoard::FreeNode(uint32_t t) { free_.push_back(t); }
+
+uint32_t IndexedBoard::Merge(uint32_t a, uint32_t b) {
+  if (a == kNil) return b;
+  if (b == kNil) return a;
+  if (nodes_[a].priority >= nodes_[b].priority) {
+    nodes_[a].right = Merge(nodes_[a].right, b);
+    Pull(a);
+    return a;
+  }
+  nodes_[b].left = Merge(a, nodes_[b].left);
+  Pull(b);
+  return b;
+}
+
+void IndexedBoard::Split(uint32_t t, double key, bool or_equal, uint32_t* a,
+                         uint32_t* b) {
+  if (t == kNil) {
+    *a = kNil;
+    *b = kNil;
+    return;
+  }
+  bool goes_left =
+      or_equal ? (nodes_[t].value <= key) : (nodes_[t].value < key);
+  if (goes_left) {
+    *a = t;
+    Split(nodes_[t].right, key, or_equal, &nodes_[t].right, b);
+  } else {
+    *b = t;
+    Split(nodes_[t].left, key, or_equal, a, &nodes_[t].left);
+  }
+  Pull(t);
+}
+
+void IndexedBoard::Insert(double value) {
+  uint32_t node = NewNode(value);
+  uint32_t le, gt;
+  Split(root_, value, /*or_equal=*/true, &le, &gt);
+  root_ = Merge(Merge(le, node), gt);
+}
+
+bool IndexedBoard::EraseOne(double value) {
+  uint32_t lt, ge, eq, gt;
+  Split(root_, value, /*or_equal=*/false, &lt, &ge);
+  Split(ge, value, /*or_equal=*/true, &eq, &gt);
+  bool erased = eq != kNil;
+  if (erased) {
+    uint32_t victim = eq;
+    eq = Merge(nodes_[victim].left, nodes_[victim].right);
+    FreeNode(victim);
+  }
+  root_ = Merge(Merge(lt, eq), gt);
+  return erased;
+}
+
+void IndexedBoard::Clear() {
+  nodes_.clear();
+  free_.clear();
+  root_ = kNil;
+}
+
+double IndexedBoard::Kth(size_t k) const {
+  assert(k < size());
+  uint32_t t = root_;
+  for (;;) {
+    size_t left = CountOf(nodes_[t].left);
+    if (k < left) {
+      t = nodes_[t].left;
+    } else if (k == left) {
+      return nodes_[t].value;
+    } else {
+      k -= left + 1;
+      t = nodes_[t].right;
+    }
+  }
+}
+
+size_t IndexedBoard::CountLessEqual(double x) const {
+  size_t count = 0;
+  uint32_t t = root_;
+  while (t != kNil) {
+    // `!(v > x)` rather than `v <= x` so a NaN probe counts every value,
+    // matching std::upper_bound over the sorted oracle.
+    if (!(nodes_[t].value > x)) {
+      count += CountOf(nodes_[t].left) + 1;
+      t = nodes_[t].right;
+    } else {
+      t = nodes_[t].left;
+    }
+  }
+  return count;
+}
+
+Result<double> IndexedBoard::Quantile(double q) const {
+  const size_t n = size();
+  if (n == 0) {
+    return Status::FailedPrecondition("indexed board is empty");
+  }
+  // Literal transcription of QuantileSorted() with Kth() lookups.
+  q = Clamp(q, 0.0, 1.0);
+  if (n == 1) return Kth(0);
+  double pos = q * static_cast<double>(n) - 0.5;
+  if (pos <= 0.0) return Kth(0);
+  if (pos >= static_cast<double>(n - 1)) return Kth(n - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  return Lerp(Kth(lo), Kth(lo + 1), frac);
+}
+
+double IndexedBoard::PercentileRank(double x) const {
+  const size_t n = size();
+  if (n == 0) return 0.0;
+  return static_cast<double>(CountLessEqual(x)) / static_cast<double>(n);
+}
+
+}  // namespace itrim

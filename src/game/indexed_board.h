@@ -1,0 +1,92 @@
+// Incremental order statistics for the public board.
+//
+// The seed PublicBoard answered every Quantile()/PercentileRank() query by
+// re-sorting its entire reservoir whenever a record had invalidated the sort
+// cache — O(n log n) per touched query, which collapses under streaming
+// workloads that interleave records and queries (the Fig 3 game is exactly
+// such a stream). IndexedBoard maintains the same multiset in a
+// size-augmented treap instead, so inserts, deletions (the reservoir
+// replacement path), k-th order statistics and ranks are all O(log n).
+//
+// Exactness contract: for any reachable multiset, Quantile() and
+// PercentileRank() return bit-identical doubles to the sorted-oracle
+// implementations QuantileSorted() / PercentileRankSorted() in
+// stats/quantile.h. The interpolation arithmetic below is a literal
+// transcription of those functions with `sorted[k]` replaced by `Kth(k)`;
+// tests/game/indexed_board_test.cc pits the two against each other over
+// randomized insert/replace/clear sequences.
+#ifndef ITRIM_GAME_INDEXED_BOARD_H_
+#define ITRIM_GAME_INDEXED_BOARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace itrim {
+
+/// \brief Dynamic multiset of doubles with O(log n) order statistics.
+class IndexedBoard {
+ public:
+  IndexedBoard() = default;
+
+  /// \brief Adds one value (duplicates allowed).
+  void Insert(double value);
+
+  /// \brief Removes one instance of `value`; false when absent.
+  bool EraseOne(double value);
+
+  /// \brief Drops all values and releases node storage.
+  void Clear();
+
+  /// \brief Number of values currently held.
+  size_t size() const { return root_ == kNil ? 0 : nodes_[root_].count; }
+
+  /// \brief k-th smallest value, 0-based. Requires k < size().
+  double Kth(size_t k) const;
+
+  /// \brief Number of held values <= x (NaN x counts everything, matching
+  /// std::upper_bound semantics in the sorted oracle).
+  size_t CountLessEqual(double x) const;
+
+  /// \brief q-quantile with MATLAB prctile interpolation; bit-identical to
+  /// QuantileSorted() over the same multiset. Errors when empty.
+  Result<double> Quantile(double q) const;
+
+  /// \brief Rank of x in [0,1]; bit-identical to PercentileRankSorted().
+  /// Returns 0 when empty.
+  double PercentileRank(double x) const;
+
+ private:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    double value = 0.0;
+    uint64_t priority = 0;
+    uint32_t left = kNil;
+    uint32_t right = kNil;
+    uint32_t count = 1;  ///< subtree size
+  };
+
+  uint32_t CountOf(uint32_t t) const { return t == kNil ? 0 : nodes_[t].count; }
+  void Pull(uint32_t t);
+  uint32_t NewNode(double value);
+  void FreeNode(uint32_t t);
+  uint32_t Merge(uint32_t a, uint32_t b);
+  /// Splits t into (values <= key, values > key) when `or_equal`, else
+  /// (values < key, values >= key).
+  void Split(uint32_t t, double key, bool or_equal, uint32_t* a, uint32_t* b);
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_;
+  uint32_t root_ = kNil;
+  /// Heap priorities come from a private deterministic stream so identical
+  /// op sequences build identical trees on every platform.
+  SplitMix64 priorities_{0x51ED2701A5E5B1C7ULL};
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_INDEXED_BOARD_H_

@@ -1,9 +1,5 @@
 #include "game/public_board.h"
 
-#include <algorithm>
-
-#include "stats/quantile.h"
-
 namespace itrim {
 
 PublicBoard::PublicBoard(size_t capacity, uint64_t seed)
@@ -17,41 +13,47 @@ void PublicBoard::RecordOne(double value) {
   ++total_recorded_;
   if (capacity_ == 0 || values_.size() < capacity_) {
     values_.push_back(value);
+    index_.Insert(value);
   } else {
     // Reservoir sampling keeps the board an unbiased sample of everything
     // ever recorded while bounding memory.
     size_t j = static_cast<size_t>(rng_.UniformInt(total_recorded_));
-    if (j < capacity_) values_[j] = value;
+    if (j < capacity_) {
+      index_.EraseOne(values_[j]);
+      values_[j] = value;
+      index_.Insert(value);
+    }
   }
-  cache_valid_ = false;
-}
-
-void PublicBoard::EnsureSorted() const {
-  if (cache_valid_) return;
-  sorted_cache_ = values_;
-  std::sort(sorted_cache_.begin(), sorted_cache_.end());
-  cache_valid_ = true;
 }
 
 Result<double> PublicBoard::Quantile(double q) const {
   if (values_.empty()) {
     return Status::FailedPrecondition("public board is empty");
   }
-  EnsureSorted();
-  return QuantileSorted(sorted_cache_, q);
+  return index_.Quantile(q);
 }
 
 double PublicBoard::PercentileRank(double x) const {
   if (values_.empty()) return 0.0;
-  EnsureSorted();
-  return PercentileRankSorted(sorted_cache_, x);
+  return index_.PercentileRank(x);
 }
 
 void PublicBoard::Clear() {
   values_.clear();
-  sorted_cache_.clear();
-  cache_valid_ = false;
+  index_.Clear();
   total_recorded_ = 0;
+}
+
+PublicBoard::Snapshot PublicBoard::Save() const {
+  return Snapshot{values_, total_recorded_, rng_.Save()};
+}
+
+void PublicBoard::Restore(const Snapshot& snapshot) {
+  values_ = snapshot.values;
+  total_recorded_ = snapshot.total_recorded;
+  rng_.Restore(snapshot.rng);
+  index_.Clear();
+  for (double v : values_) index_.Insert(v);
 }
 
 }  // namespace itrim

@@ -9,6 +9,12 @@
 // survivors would make the reference absorb its own truncation and spiral
 // the cutoffs downward, so all round-to-round adaptivity lives in the
 // strategies, not in reference drift.
+//
+// Order statistics are served by an IndexedBoard (size-augmented treap), so
+// every Quantile()/PercentileRank() is O(log n) even when records and
+// queries interleave — the seed implementation re-sorted the whole
+// reservoir on each post-record query. Results are bit-identical to the
+// sorted-oracle semantics (see indexed_board.h for the contract).
 #ifndef ITRIM_GAME_PUBLIC_BOARD_H_
 #define ITRIM_GAME_PUBLIC_BOARD_H_
 
@@ -17,11 +23,12 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "game/indexed_board.h"
 
 namespace itrim {
 
-/// \brief Append-only record of retained scalar observations with quantile
-/// queries.
+/// \brief Append-only record of retained scalar observations with
+/// incremental quantile queries.
 ///
 /// Memory is bounded by reservoir downsampling once `capacity` is exceeded;
 /// quantiles are computed exactly over the (possibly downsampled) record.
@@ -49,21 +56,33 @@ class PublicBoard {
   /// \brief Total number of values ever recorded (pre-downsampling).
   size_t total_recorded() const { return total_recorded_; }
 
-  /// \brief All currently held values (unsorted).
+  /// \brief All currently held values (unsorted, reservoir-slot order).
   const std::vector<double>& values() const { return values_; }
 
   /// \brief Drops all records.
   void Clear();
 
- private:
-  void EnsureSorted() const;
+  /// \brief Serializable board state for session checkpointing.
+  struct Snapshot {
+    std::vector<double> values;
+    size_t total_recorded = 0;
+    Rng::Snapshot rng;
+  };
 
+  /// \brief Captures the current state (the order-statistic index is
+  /// rebuilt on Restore, not stored).
+  Snapshot Save() const;
+
+  /// \brief Restores a previously captured state. The target board must be
+  /// configured with the same capacity as the snapshot's source.
+  void Restore(const Snapshot& snapshot);
+
+ private:
   size_t capacity_;
   size_t total_recorded_ = 0;
   Rng rng_;
   std::vector<double> values_;
-  mutable std::vector<double> sorted_cache_;
-  mutable bool cache_valid_ = false;
+  IndexedBoard index_;
 };
 
 }  // namespace itrim

@@ -1,0 +1,184 @@
+#include "game/score_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace itrim {
+
+size_t ScoreModel::PoisonCount(const GameConfig& config, double* quota) const {
+  // Fractional poison accrues across rounds so that tiny attack ratios
+  // (fewer than one poison value per round) still inject the right total.
+  *quota += config.attack_ratio * static_cast<double>(config.round_size);
+  const size_t count = static_cast<size_t>(*quota);
+  *quota -= static_cast<double>(count);
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// IdentityScoreModel
+// ---------------------------------------------------------------------------
+
+IdentityScoreModel::IdentityScoreModel(const std::vector<double>* benign_pool)
+    : benign_pool_(benign_pool) {}
+
+Status IdentityScoreModel::BeginRun() {
+  if (benign_pool_ == nullptr || benign_pool_->empty()) {
+    return Status::FailedPrecondition("benign pool is empty");
+  }
+  retained_.clear();
+  retained_is_poison_.clear();
+  return Status::OK();
+}
+
+Status IdentityScoreModel::Bootstrap(size_t bootstrap_size, Rng* rng,
+                                     PublicBoard* board) {
+  for (size_t i = 0; i < bootstrap_size; ++i) {
+    board->RecordOne((*benign_pool_)[rng->UniformInt(benign_pool_->size())]);
+  }
+  return Status::OK();
+}
+
+void IdentityScoreModel::BeginRound(size_t expected) {
+  values_.clear();
+  is_poison_.clear();
+  values_.reserve(expected);
+  is_poison_.reserve(expected);
+}
+
+void IdentityScoreModel::AppendBenign(size_t count, Rng* rng) {
+  for (size_t i = 0; i < count; ++i) {
+    values_.push_back((*benign_pool_)[rng->UniformInt(benign_pool_->size())]);
+    is_poison_.push_back(0);
+  }
+}
+
+Status IdentityScoreModel::AppendPoison(double position, Rng* /*rng*/,
+                                        const PublicBoard& board) {
+  // Poison "at percentile a" is the board's a-quantile value: the attack
+  // plants mass exactly where the reference distribution puts that rank.
+  ITRIM_ASSIGN_OR_RETURN(double value, board.Quantile(position));
+  values_.push_back(value);
+  is_poison_.push_back(1);
+  return Status::OK();
+}
+
+Result<TrimOutcome> IdentityScoreModel::TrimAtReference(
+    double percentile, const PublicBoard& board) {
+  ITRIM_ASSIGN_OR_RETURN(double cutoff, board.Quantile(percentile));
+  return TrimAboveValue(values_, cutoff);
+}
+
+void IdentityScoreModel::Commit(const std::vector<char>& keep) {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (keep[i]) {
+      retained_.push_back(values_[i]);
+      retained_is_poison_.push_back(is_poison_[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DistanceScoreModel
+// ---------------------------------------------------------------------------
+
+DistanceScoreModel::DistanceScoreModel(const Dataset* source)
+    : source_(source) {}
+
+Status DistanceScoreModel::BeginRun() {
+  if (source_ == nullptr || source_->rows.empty()) {
+    return Status::FailedPrecondition("source dataset is empty");
+  }
+  labeled_ = source_->labeled();
+  retained_ = Dataset{};
+  retained_.name = source_->name + "/retained";
+  retained_.num_clusters = source_->num_clusters;
+  retained_is_poison_.clear();
+  return Status::OK();
+}
+
+Status DistanceScoreModel::Bootstrap(size_t bootstrap_size, Rng* rng,
+                                     PublicBoard* board) {
+  // The clean calibration sample fixes the percentile geometry
+  // (per-feature quantile-vector map) and seeds the board with benign
+  // position scores.
+  std::vector<std::vector<double>> bootstrap;
+  bootstrap.reserve(bootstrap_size);
+  for (size_t i = 0; i < bootstrap_size; ++i) {
+    bootstrap.push_back(source_->rows[rng->UniformInt(source_->rows.size())]);
+  }
+  ITRIM_ASSIGN_OR_RETURN(position_map_, PositionMap::Build(bootstrap));
+  centroid_ = position_map_.centroid();
+  for (const auto& row : bootstrap) {
+    board->RecordOne(position_map_.PositionOfRow(row));
+  }
+  return Status::OK();
+}
+
+void DistanceScoreModel::BeginRound(size_t expected) {
+  rows_.clear();
+  labels_.clear();
+  scores_.clear();
+  is_poison_.clear();
+  rows_.reserve(expected);
+  scores_.reserve(expected);
+}
+
+void DistanceScoreModel::AppendBenign(size_t count, Rng* rng) {
+  for (size_t i = 0; i < count; ++i) {
+    size_t idx = static_cast<size_t>(rng->UniformInt(source_->rows.size()));
+    rows_.push_back(source_->rows[idx]);
+    if (labeled_) labels_.push_back(source_->labels[idx]);
+    scores_.push_back(position_map_.PositionOfRow(rows_.back()));
+    is_poison_.push_back(0);
+  }
+}
+
+void DistanceScoreModel::PrepareInjection(Rng* rng) {
+  // Colluding Sybil attackers share one direction per round: the
+  // data-meaningful quantile direction ("all features high"), jittered so
+  // rounds do not stack on one exact ray.
+  direction_ = rng->UnitVector(source_->dims());
+  const auto& qdir = position_map_.quantile_direction();
+  double norm_sq = 0.0;
+  for (size_t j = 0; j < direction_.size(); ++j) {
+    direction_[j] = qdir[j] + 0.5 * direction_[j];
+    norm_sq += direction_[j] * direction_[j];
+  }
+  double inv = 1.0 / std::sqrt(norm_sq);
+  for (double& v : direction_) v *= inv;
+}
+
+Status DistanceScoreModel::AppendPoison(double position, Rng* rng,
+                                        const PublicBoard& /*board*/) {
+  rows_.push_back(position_map_.MakePoint(position, direction_));
+  if (labeled_) {
+    // Opportunistic label claims: drawn at random per value, which plants
+    // *contradictory* constraints at the injection point — for a max-margin
+    // learner that forces slack and distorts the weights far more than a
+    // consistently-labeled cluster would.
+    labels_.push_back(static_cast<int>(
+        rng->UniformInt(std::max<size_t>(1, source_->num_clusters))));
+  }
+  scores_.push_back(position_map_.PositionOfRow(rows_.back()));
+  is_poison_.push_back(1);
+  return Status::OK();
+}
+
+Result<TrimOutcome> DistanceScoreModel::TrimAtReference(
+    double percentile, const PublicBoard& /*board*/) {
+  // Positions *are* percentiles: the threshold applies directly.
+  return TrimAboveValue(scores_, percentile);
+}
+
+void DistanceScoreModel::Commit(const std::vector<char>& keep) {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (keep[i]) {
+      retained_.rows.push_back(std::move(rows_[i]));
+      if (labeled_) retained_.labels.push_back(labels_[i]);
+      retained_is_poison_.push_back(is_poison_[i]);
+    }
+  }
+}
+
+}  // namespace itrim

@@ -1,0 +1,215 @@
+// Score models: the data-setting-specific half of the collection game.
+//
+// The round protocol of Fig 3 (threshold choice, arrival, injection,
+// trimming, observation) is identical across the paper's settings; what
+// differs is how payloads are generated, how they are scored into the
+// shared percentile coordinate, and how a reference-percentile threshold
+// turns into a cutoff:
+//
+//  * IdentityScoreModel — 1-D values (the LDP / Taxi setting): the score is
+//    the value itself, poison at percentile a materializes as the board's
+//    a-quantile value, and a threshold T cuts at the board's T-quantile.
+//  * DistanceScoreModel — d-dimensional rows scored through the PositionMap
+//    percentile geometry (the k-means / SVM / SOM setting): poison rows are
+//    fabricated at a target percentile position along a shared
+//    per-round direction (colluding Sybil attackers), scores *are*
+//    percentile positions, so a threshold applies directly.
+//
+// A ScoreModel plugs into TrimmingSession (game/session.h), which owns the
+// round loop. Models also own the retained (sanitized) output of a run.
+#ifndef ITRIM_GAME_SCORE_MODEL_H_
+#define ITRIM_GAME_SCORE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "game/position_map.h"
+#include "game/public_board.h"
+#include "game/session.h"
+#include "game/trimmer.h"
+
+namespace itrim {
+
+/// \brief Data-setting plugin of the TrimmingSession round loop.
+///
+/// The engine drives one model through a fixed sequence per round:
+/// BeginRound → AppendBenign → PrepareInjection → AppendPoison (×k) →
+/// scores()/is_poison() → TrimAtReference (unless keep-all / round-mass) →
+/// Commit. Implementations must consume the engine RNG only inside these
+/// hooks, in this order — the batch adapters' bit-identity guarantee rests
+/// on the RNG call sequence matching the seed implementation exactly.
+class ScoreModel {
+ public:
+  virtual ~ScoreModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// \brief Salt XOR'd into GameConfig::seed for the board's reservoir
+  /// stream (kept distinct per setting, as in the seed games).
+  virtual uint64_t BoardSeedSalt() const = 0;
+
+  /// \brief Validates the data source and clears the retained store for a
+  /// fresh run.
+  virtual Status BeginRun() = 0;
+
+  /// \brief Seeds the percentile reference: records `bootstrap_size` clean
+  /// scores on the board (and fixes any model geometry, e.g. PositionMap).
+  virtual Status Bootstrap(size_t bootstrap_size, Rng* rng,
+                           PublicBoard* board) = 0;
+
+  /// \brief Poison count for the upcoming round. The default accrues
+  /// fractional quota across rounds so tiny attack ratios still inject the
+  /// right total; models with a fixed per-round head count override.
+  virtual size_t PoisonCount(const GameConfig& config, double* quota) const;
+
+  /// \brief Starts an empty round buffer (`expected` is a reserve hint).
+  virtual void BeginRound(size_t expected) = 0;
+
+  /// \brief Appends `count` benign payloads drawn from the data source.
+  virtual void AppendBenign(size_t count, Rng* rng) = 0;
+
+  /// \brief Round-level injection setup (e.g. the colluding adversaries'
+  /// shared direction). Called once per round, after the benign arrivals,
+  /// regardless of the poison count.
+  virtual void PrepareInjection(Rng* /*rng*/) {}
+
+  /// \brief Highest injection percentile the model can materialize
+  /// (adversary positions are clamped to [0, cap]).
+  virtual double InjectionCap() const { return 1.0; }
+
+  /// \brief True when AppendPoison needs a real percentile from an
+  /// AdversaryStrategy. Models that materialize poison autonomously (the
+  /// LDP report attack) override to false; the session refuses to
+  /// bootstrap a poisoned game that pairs a position-requiring model with
+  /// a null adversary.
+  virtual bool RequiresAdversaryPositions() const { return true; }
+
+  /// \brief Materializes one poison payload at board-percentile `position`
+  /// (NaN when the session runs without an AdversaryStrategy — only
+  /// reachable for models with RequiresAdversaryPositions() == false).
+  virtual Status AppendPoison(double position, Rng* rng,
+                              const PublicBoard& board) = 0;
+
+  /// \brief Scores of the current round (benign then poison, arrival
+  /// order), in the shared percentile-comparable coordinate.
+  virtual const std::vector<double>& scores() const = 0;
+
+  /// \brief Poison flags parallel to scores().
+  virtual const std::vector<char>& is_poison() const = 0;
+
+  /// \brief Injection position entered into the round record and the
+  /// observations. Defaults to the adversary's realized mean; models whose
+  /// collector can only *estimate* the position override (LDP).
+  virtual double InjectionSignal(const PublicBoard& /*board*/,
+                                 double adversary_mean) const {
+    return adversary_mean;
+  }
+
+  /// \brief Trims the current round's scores at reference percentile
+  /// `percentile` (< 1; the keep-all and round-mass branches live in the
+  /// engine).
+  virtual Result<TrimOutcome> TrimAtReference(double percentile,
+                                              const PublicBoard& board) = 0;
+
+  /// \brief Moves the round's survivors (per keep mask) into the retained
+  /// store.
+  virtual void Commit(const std::vector<char>& keep) = 0;
+};
+
+/// \brief Scalar (1-D) setting: scores are the values themselves.
+class IdentityScoreModel : public ScoreModel {
+ public:
+  /// `benign_pool` is borrowed; sampled with replacement each round.
+  explicit IdentityScoreModel(const std::vector<double>* benign_pool);
+
+  std::string name() const override { return "identity"; }
+  uint64_t BoardSeedSalt() const override { return 0x9E3779B97F4A7C15ULL; }
+  Status BeginRun() override;
+  Status Bootstrap(size_t bootstrap_size, Rng* rng,
+                   PublicBoard* board) override;
+  void BeginRound(size_t expected) override;
+  void AppendBenign(size_t count, Rng* rng) override;
+  Status AppendPoison(double position, Rng* rng,
+                      const PublicBoard& board) override;
+  const std::vector<double>& scores() const override { return values_; }
+  const std::vector<char>& is_poison() const override { return is_poison_; }
+  Result<TrimOutcome> TrimAtReference(double percentile,
+                                      const PublicBoard& board) override;
+  void Commit(const std::vector<char>& keep) override;
+
+  /// \brief Retained values accumulated since BeginRun().
+  const std::vector<double>& retained() const { return retained_; }
+  /// \brief Poison flags parallel to retained().
+  const std::vector<char>& retained_is_poison() const {
+    return retained_is_poison_;
+  }
+
+ private:
+  const std::vector<double>* benign_pool_;
+  std::vector<double> values_;
+  std::vector<char> is_poison_;
+  std::vector<double> retained_;
+  std::vector<char> retained_is_poison_;
+};
+
+/// \brief Multi-dimensional setting: rows scored by PositionMap percentile
+/// positions; poison fabricated along a shared per-round direction.
+class DistanceScoreModel : public ScoreModel {
+ public:
+  /// `source` is borrowed; provides benign rows (labels kept when present).
+  explicit DistanceScoreModel(const Dataset* source);
+
+  std::string name() const override { return "distance"; }
+  uint64_t BoardSeedSalt() const override { return 0xC2B2AE3D27D4EB4FULL; }
+  Status BeginRun() override;
+  Status Bootstrap(size_t bootstrap_size, Rng* rng,
+                   PublicBoard* board) override;
+  void BeginRound(size_t expected) override;
+  void AppendBenign(size_t count, Rng* rng) override;
+  void PrepareInjection(Rng* rng) override;
+  /// Positions above 1 extrapolate beyond the observed domain (the
+  /// adversary may fabricate values outside it).
+  double InjectionCap() const override { return 1.5; }
+  Status AppendPoison(double position, Rng* rng,
+                      const PublicBoard& board) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  const std::vector<char>& is_poison() const override { return is_poison_; }
+  Result<TrimOutcome> TrimAtReference(double percentile,
+                                      const PublicBoard& board) override;
+  void Commit(const std::vector<char>& keep) override;
+
+  /// \brief Survivor rows + labels accumulated since BeginRun() (poison
+  /// rows carry adversary-chosen labels).
+  const Dataset& retained_data() const { return retained_; }
+  /// \brief Poison flags parallel to retained_data().rows.
+  const std::vector<char>& retained_is_poison() const {
+    return retained_is_poison_;
+  }
+  /// \brief Reference centroid fixed from the clean bootstrap sample.
+  const std::vector<double>& reference_centroid() const { return centroid_; }
+  /// \brief The percentile geometry built from the bootstrap (valid after
+  /// Bootstrap()).
+  const PositionMap& position_map() const { return position_map_; }
+
+ private:
+  const Dataset* source_;
+  bool labeled_ = false;
+  PositionMap position_map_;
+  std::vector<double> centroid_;
+  std::vector<double> direction_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+  std::vector<double> scores_;
+  std::vector<char> is_poison_;
+  Dataset retained_;
+  std::vector<char> retained_is_poison_;
+};
+
+}  // namespace itrim
+
+#endif  // ITRIM_GAME_SCORE_MODEL_H_

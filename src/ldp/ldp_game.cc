@@ -7,6 +7,8 @@
 
 #include "common/math_util.h"
 #include "game/public_board.h"
+#include "game/score_model.h"
+#include "game/session.h"
 #include "game/trimmer.h"
 
 namespace itrim {
@@ -28,12 +30,163 @@ Status LdpGameConfig::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+// ScoreModel of the LDP setting: honest perturbed reports are the scores,
+// poison reports come from the manipulation attack (which ignores the
+// engine's percentile guidance — the session runs without an
+// AdversaryStrategy), and reference trimming keeps the symmetric
+// [1 - q, q] percentile band of the clean report reference. Symmetric
+// truncation keeps the mean estimator unbiased under the mechanisms'
+// symmetric noise while the upper cut removes the attack's high-side mass;
+// the lower cut's false positives are what inflate MSE at small epsilon
+// (the Fig 9 inflection).
+class LdpReportScoreModel : public ScoreModel {
+ public:
+  LdpReportScoreModel(const std::vector<double>* population,
+                      const LdpMechanism* mechanism, LdpAttack* attack,
+                      double tth)
+      : population_(population), mechanism_(mechanism), attack_(attack),
+        tth_(tth) {}
+
+  std::string name() const override { return "ldp_report"; }
+  uint64_t BoardSeedSalt() const override { return 0x1234567ULL; }
+  // Poison reports come from the LdpAttack, not from percentile guidance.
+  bool RequiresAdversaryPositions() const override { return false; }
+
+  Status BeginRun() override {
+    if (population_ == nullptr || population_->empty()) {
+      return Status::FailedPrecondition("empty population");
+    }
+    retained_.clear();
+    return Status::OK();
+  }
+
+  Status Bootstrap(size_t bootstrap_size, Rng* rng,
+                   PublicBoard* board) override {
+    // Clean bootstrap of honest reports fixes the percentile reference
+    // (the calibration sample behind Algorithm 1's QE(X0)).
+    for (size_t i = 0; i < bootstrap_size; ++i) {
+      double x = (*population_)[rng->UniformInt(population_->size())];
+      board->RecordOne(mechanism_->Perturb(x, rng));
+    }
+    return Status::OK();
+  }
+
+  // The attack fields a fixed head count per round, not an accrued quota.
+  size_t PoisonCount(const GameConfig& config, double* /*quota*/) const
+      override {
+    return static_cast<size_t>(std::llround(
+        config.attack_ratio * static_cast<double>(config.round_size)));
+  }
+
+  void BeginRound(size_t expected) override {
+    reports_.clear();
+    is_poison_.clear();
+    reports_.reserve(expected);
+    is_poison_.reserve(expected);
+  }
+
+  void AppendBenign(size_t count, Rng* rng) override {
+    for (size_t i = 0; i < count; ++i) {
+      double x = (*population_)[rng->UniformInt(population_->size())];
+      reports_.push_back(mechanism_->Perturb(x, rng));
+      is_poison_.push_back(0);
+    }
+  }
+
+  Status AppendPoison(double /*position*/, Rng* rng,
+                      const PublicBoard& /*board*/) override {
+    reports_.push_back(attack_->PoisonReport(*mechanism_, rng));
+    is_poison_.push_back(1);
+    return Status::OK();
+  }
+
+  const std::vector<double>& scores() const override { return reports_; }
+  const std::vector<char>& is_poison() const override { return is_poison_; }
+
+  // Collector-side estimate of the attack position: the board rank of the
+  // centroid of this round's upper-tail excess (what an Elastic defender
+  // can actually observe).
+  double InjectionSignal(const PublicBoard& board,
+                         double /*adversary_mean*/) const override {
+    double estimate = std::nan("");
+    auto tail_cut = board.Quantile(tth_);
+    if (tail_cut.ok()) {
+      double sum = 0.0;
+      size_t count = 0;
+      for (double v : reports_) {
+        if (v > *tail_cut) {
+          sum += v;
+          ++count;
+        }
+      }
+      if (count > 0) {
+        estimate = board.PercentileRank(sum / static_cast<double>(count));
+      }
+    }
+    return estimate;
+  }
+
+  Result<TrimOutcome> TrimAtReference(double percentile,
+                                      const PublicBoard& board) override {
+    TrimOutcome outcome;
+    ITRIM_ASSIGN_OR_RETURN(double upper_cut, board.Quantile(percentile));
+    ITRIM_ASSIGN_OR_RETURN(double lower_cut,
+                           board.Quantile(1.0 - percentile));
+    outcome.cutoff = upper_cut;
+    outcome.keep.assign(reports_.size(), 1);
+    for (size_t i = 0; i < reports_.size(); ++i) {
+      if (reports_[i] > upper_cut || reports_[i] < lower_cut) {
+        outcome.keep[i] = 0;
+        ++outcome.removed_count;
+      } else {
+        ++outcome.kept_count;
+      }
+    }
+    return outcome;
+  }
+
+  void Commit(const std::vector<char>& keep) override {
+    for (size_t i = 0; i < reports_.size(); ++i) {
+      if (keep[i]) retained_.push_back(reports_[i]);
+    }
+  }
+
+  const std::vector<double>& retained() const { return retained_; }
+
+ private:
+  const std::vector<double>* population_;
+  const LdpMechanism* mechanism_;
+  LdpAttack* attack_;
+  double tth_;
+  std::vector<double> reports_;
+  std::vector<char> is_poison_;
+  std::vector<double> retained_;
+};
+
+// Maps the LDP configuration onto the shared engine configuration.
+GameConfig SessionConfig(const LdpGameConfig& config) {
+  GameConfig g;
+  g.rounds = config.rounds;
+  g.round_size = config.users_per_round;
+  g.attack_ratio = config.attack_ratio;
+  g.tth = config.tth;
+  g.bootstrap_size = config.bootstrap_size;
+  g.board_capacity = config.board_capacity;
+  g.round_mass_trimming = false;
+  g.seed = config.seed;
+  return g;
+}
+
+}  // namespace
+
 LdpCollectionGame::LdpCollectionGame(LdpGameConfig config,
                                      const std::vector<double>* population,
                                      const LdpMechanism* mechanism,
                                      LdpAttack* attack)
-    : config_(config), population_(population), mechanism_(mechanism),
-      attack_(attack) {
+    : config_(config), config_status_(config.Validate()),
+      population_(population), mechanism_(mechanism), attack_(attack) {
   assert(population != nullptr && mechanism != nullptr && attack != nullptr);
 }
 
@@ -71,134 +224,17 @@ void LdpCollectionGame::GenerateRound(Rng* rng, std::vector<double>* reports,
 
 Result<LdpRunResult> LdpCollectionGame::RunTrimming(
     CollectorStrategy* collector, QualityEvaluation* quality) {
-  ITRIM_RETURN_NOT_OK(config_.Validate());
-  if (population_->empty()) {
-    return Status::FailedPrecondition("empty population");
-  }
-  Rng rng(config_.seed);
-  collector->Reset();
-  PublicBoard board(config_.board_capacity, config_.seed ^ 0x1234567ULL);
-
-  // Round 0: clean bootstrap of honest reports fixes the percentile
-  // reference (the calibration sample behind Algorithm 1's QE(X0)).
-  for (size_t i = 0; i < config_.bootstrap_size; ++i) {
-    double x = (*population_)[rng.UniformInt(population_->size())];
-    board.RecordOne(mechanism_->Perturb(x, &rng));
-  }
-
+  ITRIM_RETURN_NOT_OK(config_status_);
+  LdpReportScoreModel model(population_, mechanism_, attack_, config_.tth);
+  TrimmingSession session(SessionConfig(config_), &model, collector,
+                          /*adversary=*/nullptr, quality);
   LdpRunResult result;
+  ITRIM_ASSIGN_OR_RETURN(result.game, session.RunToCompletion());
   result.true_mean = TrueMean();
+
   double kept_sum = 0.0;
-  size_t kept_count = 0;
-  RoundObservation prev;
-  bool have_prev = false;
-  std::vector<double> reports;
-  std::vector<char> is_poison;
-
-  for (int round = 1; round <= config_.rounds; ++round) {
-    RoundContext ctx;
-    ctx.round = round;
-    ctx.tth = config_.tth;
-    ctx.board = &board;
-    if (have_prev) {
-      ctx.prev_collector_percentile = prev.collector_percentile;
-      ctx.prev_injection_percentile = prev.injection_percentile;
-      ctx.prev_quality = prev.quality;
-    }
-    double trim_percentile = collector->TrimPercentile(ctx);
-
-    GenerateRound(&rng, &reports, &is_poison);
-
-    // Collector-side estimate of the attack position: the board rank of the
-    // centroid of this round's upper-tail excess (what an Elastic defender
-    // can actually observe).
-    double injection_estimate = std::nan("");
-    {
-      auto tail_cut = board.Quantile(config_.tth);
-      if (tail_cut.ok()) {
-        double sum = 0.0;
-        size_t count = 0;
-        for (double v : reports) {
-          if (v > *tail_cut) {
-            sum += v;
-            ++count;
-          }
-        }
-        if (count > 0) {
-          injection_estimate = board.PercentileRank(
-              sum / static_cast<double>(count));
-        }
-      }
-    }
-
-    double quality_score =
-        quality != nullptr ? quality->Evaluate(reports, board) : 1.0;
-
-    // Trimming is symmetric: keep reports within the [1 - q, q] percentile
-    // band of the clean report reference. Symmetric truncation keeps the
-    // mean estimator unbiased under the mechanisms' symmetric noise while
-    // the upper cut removes the attack's high-side mass; the lower cut's
-    // false positives are what inflate MSE at small epsilon (the Fig 9
-    // inflection).
-    TrimOutcome outcome;
-    if (trim_percentile >= 1.0) {
-      outcome.keep.assign(reports.size(), 1);
-      outcome.kept_count = reports.size();
-      outcome.cutoff = std::numeric_limits<double>::infinity();
-    } else {
-      ITRIM_ASSIGN_OR_RETURN(double upper_cut,
-                             board.Quantile(trim_percentile));
-      ITRIM_ASSIGN_OR_RETURN(double lower_cut,
-                             board.Quantile(1.0 - trim_percentile));
-      outcome.cutoff = upper_cut;
-      outcome.keep.assign(reports.size(), 1);
-      for (size_t i = 0; i < reports.size(); ++i) {
-        if (reports[i] > upper_cut || reports[i] < lower_cut) {
-          outcome.keep[i] = 0;
-          ++outcome.removed_count;
-        } else {
-          ++outcome.kept_count;
-        }
-      }
-    }
-
-    RoundRecord record;
-    record.round = round;
-    record.collector_percentile = trim_percentile;
-    record.injection_percentile = injection_estimate;
-    record.cutoff = outcome.cutoff;
-    record.quality = quality_score;
-    for (size_t i = 0; i < reports.size(); ++i) {
-      bool poison = is_poison[i] != 0;
-      if (poison) {
-        ++record.poison_received;
-      } else {
-        ++record.benign_received;
-      }
-      if (outcome.keep[i]) {
-        if (poison) {
-          ++record.poison_kept;
-        } else {
-          ++record.benign_kept;
-        }
-        kept_sum += reports[i];
-        ++kept_count;
-      }
-    }
-    result.game.rounds.push_back(record);
-
-    prev = RoundObservation{round,
-                            trim_percentile,
-                            injection_estimate,
-                            quality_score,
-                            reports.size(),
-                            record.benign_kept + record.poison_kept,
-                            record.poison_received,
-                            record.poison_kept};
-    have_prev = true;
-    collector->Observe(prev);
-  }
-  result.game.termination_round = collector->termination_round();
+  for (double v : model.retained()) kept_sum += v;
+  const size_t kept_count = model.retained().size();
   result.estimated_mean =
       kept_count > 0 ? kept_sum / static_cast<double>(kept_count) : 0.0;
   double err = result.estimated_mean - result.true_mean;
@@ -207,7 +243,7 @@ Result<LdpRunResult> LdpCollectionGame::RunTrimming(
 }
 
 Result<LdpRunResult> LdpCollectionGame::RunEmf(const EmfConfig& emf_config) {
-  ITRIM_RETURN_NOT_OK(config_.Validate());
+  ITRIM_RETURN_NOT_OK(config_status_);
   if (population_->empty()) {
     return Status::FailedPrecondition("empty population");
   }
@@ -242,7 +278,7 @@ Result<LdpRunResult> LdpCollectionGame::RunEmf(const EmfConfig& emf_config) {
 }
 
 Result<LdpRunResult> LdpCollectionGame::RunUndefended() {
-  ITRIM_RETURN_NOT_OK(config_.Validate());
+  ITRIM_RETURN_NOT_OK(config_status_);
   if (population_->empty()) {
     return Status::FailedPrecondition("empty population");
   }

@@ -50,10 +50,17 @@ struct LdpRunResult {
 };
 
 /// \brief The LDP collection game.
+///
+/// The trimming path routes through the shared TrimmingSession engine
+/// (game/session.h) with an LDP-report ScoreModel: honest reports are the
+/// scores, poison comes from the LdpAttack (no percentile guidance), the
+/// recorded injection position is the collector-side tail estimate, and
+/// trimming keeps the symmetric [1 - q, q] report-percentile band.
 class LdpCollectionGame {
  public:
   /// `population` supplies true values in [-1, 1] (sampled with
-  /// replacement); all pointers are borrowed.
+  /// replacement); all pointers are borrowed. The configuration is
+  /// validated here; every Run* surfaces the validation Status.
   LdpCollectionGame(LdpGameConfig config,
                     const std::vector<double>* population,
                     const LdpMechanism* mechanism, LdpAttack* attack);
@@ -78,6 +85,7 @@ class LdpCollectionGame {
   void ReportBounds(double* lo, double* hi) const;
 
   LdpGameConfig config_;
+  Status config_status_;
   const std::vector<double>* population_;
   const LdpMechanism* mechanism_;
   LdpAttack* attack_;

@@ -174,6 +174,51 @@ TEST(ScalarGameTest, RoundMassTrimmingRemovesExactFraction) {
   }
 }
 
+// Regression: the degenerate all-trimmed game (threshold 0 with round-mass
+// semantics removes every value of every round) must leave the summary
+// fraction helpers well defined — no 0/0 from the zero-kept denominator.
+TEST(ScalarGameTest, DegenerateAllTrimmedGameHasDefinedFractions) {
+  auto pool = UniformPool(1000, 14);
+  StaticCollector collector(0.0, "trim-everything");
+  FixedPercentileAdversary adversary(0.99);
+  GameConfig config = SmallConfig();
+  config.round_mass_trimming = true;
+  ScalarCollectionGame game(config, &pool, &collector, &adversary, nullptr);
+  GameSummary summary = game.Run().ValueOrDie();
+  ASSERT_EQ(summary.TotalKept(), 0u);
+  EXPECT_DOUBLE_EQ(summary.UntrimmedPoisonFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.PoisonSurvivalRate(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.BenignLossFraction(), 1.0);
+  EXPECT_FALSE(std::isnan(summary.UntrimmedPoisonFraction()));
+  EXPECT_TRUE(game.retained().empty());
+}
+
+// Regression: no poison received at all (attack_ratio 0) combined with
+// total trimming — every helper denominator is zero simultaneously.
+TEST(ScalarGameTest, AllTrimmedWithoutPoisonStillDefined) {
+  auto pool = UniformPool(1000, 15);
+  StaticCollector collector(0.0, "trim-everything");
+  FixedPercentileAdversary adversary(0.99);
+  GameConfig config = SmallConfig();
+  config.round_mass_trimming = true;
+  config.attack_ratio = 0.0;
+  ScalarCollectionGame game(config, &pool, &collector, &adversary, nullptr);
+  GameSummary summary = game.Run().ValueOrDie();
+  EXPECT_EQ(summary.TotalKept(), 0u);
+  EXPECT_DOUBLE_EQ(summary.UntrimmedPoisonFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.PoisonSurvivalRate(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.BenignLossFraction(), 1.0);
+}
+
+// An empty summary (no rounds played) must also stay finite.
+TEST(GameSummaryTest, EmptySummaryFractionsAreZero) {
+  GameSummary summary;
+  EXPECT_DOUBLE_EQ(summary.UntrimmedPoisonFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.BenignLossFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.PoisonSurvivalRate(), 0.0);
+  EXPECT_EQ(summary.TotalKept(), 0u);
+}
+
 TEST(DistanceGameTest, RunsOnMultiDimData) {
   Dataset data = MakeControl(9);
   StaticCollector collector(0.9, "static");

@@ -1,0 +1,192 @@
+#include "game/indexed_board.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "game/public_board.h"
+#include "stats/quantile.h"
+
+namespace itrim {
+namespace {
+
+TEST(IndexedBoardTest, EmptyBoard) {
+  IndexedBoard board;
+  EXPECT_EQ(board.size(), 0u);
+  EXPECT_FALSE(board.Quantile(0.5).ok());
+  EXPECT_DOUBLE_EQ(board.PercentileRank(1.0), 0.0);
+  EXPECT_FALSE(board.EraseOne(1.0));
+}
+
+TEST(IndexedBoardTest, KthTracksSortedOrder) {
+  IndexedBoard board;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) board.Insert(v);
+  ASSERT_EQ(board.size(), 5u);
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(board.Kth(k), static_cast<double>(k + 1));
+  }
+}
+
+TEST(IndexedBoardTest, DuplicatesCountedIndividually) {
+  IndexedBoard board;
+  for (double v : {2.0, 2.0, 2.0, 1.0}) board.Insert(v);
+  EXPECT_EQ(board.size(), 4u);
+  EXPECT_EQ(board.CountLessEqual(2.0), 4u);
+  EXPECT_EQ(board.CountLessEqual(1.5), 1u);
+  EXPECT_TRUE(board.EraseOne(2.0));
+  EXPECT_EQ(board.size(), 3u);
+  EXPECT_EQ(board.CountLessEqual(2.0), 3u);
+  EXPECT_TRUE(board.EraseOne(2.0));
+  EXPECT_TRUE(board.EraseOne(2.0));
+  EXPECT_FALSE(board.EraseOne(2.0));
+  EXPECT_EQ(board.size(), 1u);
+  EXPECT_DOUBLE_EQ(board.Kth(0), 1.0);
+}
+
+TEST(IndexedBoardTest, QuantileMatchesSortedOracleExactly) {
+  IndexedBoard board;
+  std::vector<double> values;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.Uniform(-3.0, 3.0);
+    board.Insert(v);
+    values.push_back(v);
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.001, 0.1, 0.25, 0.5, 0.9, 0.95, 0.999, 1.0}) {
+    EXPECT_EQ(board.Quantile(q).ValueOrDie(), QuantileSorted(sorted, q))
+        << "q=" << q;
+  }
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.Uniform(-4.0, 4.0);
+    EXPECT_EQ(board.PercentileRank(x), PercentileRankSorted(sorted, x))
+        << "x=" << x;
+  }
+}
+
+TEST(IndexedBoardTest, NanProbeMatchesUpperBoundSemantics) {
+  IndexedBoard board;
+  for (double v : {1.0, 2.0, 3.0}) board.Insert(v);
+  // std::upper_bound(sorted, NaN) returns end() (count = n): every
+  // comparison NaN < v is false.
+  EXPECT_DOUBLE_EQ(board.PercentileRank(std::nan("")), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property sweep: the indexed structure against a plain multiset
+// oracle under interleaved insert / erase / clear.
+// ---------------------------------------------------------------------------
+
+TEST(IndexedBoardTest, PropertyAgainstMultisetOracle) {
+  IndexedBoard board;
+  std::vector<double> oracle;  // unsorted mirror
+  Rng rng(99);
+  for (int op = 0; op < 6000; ++op) {
+    double roll = rng.Uniform();
+    if (roll < 0.55 || oracle.empty()) {
+      double v = rng.Uniform(-10.0, 10.0);
+      if (rng.Bernoulli(0.25)) v = std::round(v);  // force duplicates
+      board.Insert(v);
+      oracle.push_back(v);
+    } else if (roll < 0.75) {
+      size_t idx = static_cast<size_t>(rng.UniformInt(oracle.size()));
+      double v = oracle[idx];
+      EXPECT_TRUE(board.EraseOne(v));
+      oracle[idx] = oracle.back();
+      oracle.pop_back();
+    } else if (roll < 0.995) {
+      ASSERT_EQ(board.size(), oracle.size());
+      std::vector<double> sorted = oracle;
+      std::sort(sorted.begin(), sorted.end());
+      size_t k = static_cast<size_t>(rng.UniformInt(sorted.size()));
+      EXPECT_EQ(board.Kth(k), sorted[k]);
+      double q = rng.Uniform();
+      EXPECT_EQ(board.Quantile(q).ValueOrDie(), QuantileSorted(sorted, q));
+      double x = rng.Uniform(-11.0, 11.0);
+      EXPECT_EQ(board.PercentileRank(x), PercentileRankSorted(sorted, x));
+    } else {
+      board.Clear();
+      oracle.clear();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PublicBoard end-to-end: the indexed backend against the seed
+// sort-per-invalidation semantics, including the reservoir-capacity
+// (downsample) path where records *replace* existing slots.
+// ---------------------------------------------------------------------------
+
+// The seed board's query semantics: sort the slot array, apply the oracle.
+double OracleQuantile(const PublicBoard& board, double q) {
+  std::vector<double> sorted = board.values();
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileSorted(sorted, q);
+}
+
+double OracleRank(const PublicBoard& board, double x) {
+  std::vector<double> sorted = board.values();
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileRankSorted(sorted, x);
+}
+
+class PublicBoardOracleTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PublicBoardOracleTest, InterleavedStreamMatchesSortedOracle) {
+  const size_t capacity = GetParam();
+  PublicBoard board(capacity, /*seed=*/5);
+  Rng rng(2718);
+  for (int op = 0; op < 8000; ++op) {
+    double roll = rng.Uniform();
+    if (roll < 0.7 || board.size() == 0) {
+      board.RecordOne(rng.Uniform(-2.0, 2.0));
+    } else if (roll < 0.997) {
+      double q = rng.Uniform();
+      EXPECT_EQ(board.Quantile(q).ValueOrDie(), OracleQuantile(board, q));
+      double x = rng.Uniform(-2.5, 2.5);
+      EXPECT_EQ(board.PercentileRank(x), OracleRank(board, x));
+    } else {
+      board.Clear();
+      EXPECT_EQ(board.size(), 0u);
+      EXPECT_FALSE(board.Quantile(0.5).ok());
+    }
+    if (capacity > 0) {
+      EXPECT_LE(board.size(), capacity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, PublicBoardOracleTest,
+                         ::testing::Values(0u, 100u, 1000u));
+
+TEST(PublicBoardSnapshotTest, SaveRestoreRoundTrips) {
+  PublicBoard board(50, /*seed=*/8);
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) board.RecordOne(rng.Uniform());
+  PublicBoard::Snapshot snapshot = board.Save();
+
+  // Continue both the original and a restored copy with the same stream;
+  // they must stay bit-identical (values, reservoir decisions, queries).
+  // Snapshots restore into a board of the same configured capacity.
+  PublicBoard restored(50, /*seed=*/0);
+  restored.Restore(snapshot);
+  EXPECT_EQ(restored.size(), board.size());
+  EXPECT_EQ(restored.total_recorded(), board.total_recorded());
+  Rng follow_a(77), follow_b(77);
+  for (int i = 0; i < 300; ++i) {
+    board.RecordOne(follow_a.Uniform());
+    restored.RecordOne(follow_b.Uniform());
+  }
+  EXPECT_EQ(board.values(), restored.values());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(board.Quantile(q).ValueOrDie(),
+              restored.Quantile(q).ValueOrDie());
+  }
+}
+
+}  // namespace
+}  // namespace itrim
