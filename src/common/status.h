@@ -68,6 +68,14 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
+  /// \brief Builds a status of an existing code with a new message (e.g.
+  /// re-wrapping a propagated error with caller context). `kOk` yields
+  /// OK() and drops the message.
+  static Status WithCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return OK();
+    return Status(code, std::move(msg));
+  }
+
   /// \brief True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
   /// \brief The status code.

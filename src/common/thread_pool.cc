@@ -142,4 +142,25 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& body,
   if (err) std::rethrow_exception(err);
 }
 
+void ParallelForShards(size_t n, size_t shard_size,
+                       const std::function<void(size_t, size_t)>& body,
+                       int num_jobs) {
+  if (n == 0) return;
+  int jobs = num_jobs > 0 ? num_jobs : DefaultNumThreads();
+  if (shard_size == 0) {
+    // ~4 shards per job balances uneven shard costs without reintroducing
+    // per-item claim traffic.
+    shard_size = std::max<size_t>(1, n / (4 * static_cast<size_t>(jobs)));
+  }
+  const size_t num_shards = (n + shard_size - 1) / shard_size;
+  ParallelFor(
+      num_shards,
+      [&](size_t shard) {
+        size_t begin = shard * shard_size;
+        size_t end = std::min(n, begin + shard_size);
+        body(begin, end);
+      },
+      num_jobs);
+}
+
 }  // namespace itrim

@@ -86,6 +86,21 @@ int DefaultNumThreads();
 void ParallelFor(size_t n, const std::function<void(size_t)>& body,
                  int num_jobs = 0);
 
+/// \brief Runs body(begin, end) over contiguous shards covering [0, n).
+///
+/// A shard is one scheduling unit: for fleets of thousands of cheap,
+/// same-shaped items (e.g. one session round per item), claiming them one
+/// by one through ParallelFor's shared counter spends more time on the
+/// atomic than on the work. Sharding amortizes the claim over `shard_size`
+/// items while keeping the same determinism contract — shard boundaries
+/// are a pure function of (n, shard_size), every index is visited exactly
+/// once, and callers still reduce per-index slots in index order.
+/// `shard_size == 0` picks a size that yields ~4 shards per job (enough
+/// slack for dynamic balancing without counter contention).
+void ParallelForShards(size_t n, size_t shard_size,
+                       const std::function<void(size_t, size_t)>& body,
+                       int num_jobs = 0);
+
 }  // namespace itrim
 
 #endif  // ITRIM_COMMON_THREAD_POOL_H_

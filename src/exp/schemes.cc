@@ -90,4 +90,10 @@ std::vector<SchemeId> PlottedSchemes() {
 
 std::vector<SchemeId> DefenseSchemes() { return PlottedSchemes(); }
 
+std::vector<SchemeId> AllSchemes() {
+  std::vector<SchemeId> all = {SchemeId::kGroundtruth};
+  for (SchemeId id : PlottedSchemes()) all.push_back(id);
+  return all;
+}
+
 }  // namespace itrim

@@ -75,6 +75,10 @@ Result<GameSummary> RunSchemeSession(const GameConfig& config,
 /// \brief All six plotted schemes, in the paper's legend order.
 std::vector<SchemeId> PlottedSchemes();
 
+/// \brief Every scheme including Groundtruth (fleet tenant populations
+/// cycle through these to mix strategy pairs).
+std::vector<SchemeId> AllSchemes();
+
 /// \brief The defense schemes only (no Groundtruth).
 std::vector<SchemeId> DefenseSchemes();
 

@@ -1,0 +1,282 @@
+#include "fleet/session_fleet.h"
+
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "stats/quantile.h"
+
+namespace itrim {
+
+Status FleetConfig::Validate() const {
+  if (rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
+  if (threads < 0) return Status::InvalidArgument("threads must be >= 0");
+  if (shard_size < 0) {
+    return Status::InvalidArgument("shard_size must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Re-wraps a tenant-level error with the tenant's identity, preserving the
+// status code.
+Status TenantStatus(size_t index, const std::string& name,
+                    const Status& status) {
+  std::string msg = "tenant #" + std::to_string(index);
+  if (!name.empty()) msg += " (" + name + ")";
+  msg += ": " + status.message();
+  return Status::WithCode(status.code(), std::move(msg));
+}
+
+FleetQuantiles QuantileTriple(std::vector<double> values) {
+  FleetQuantiles q;
+  if (values.empty()) return q;
+  std::vector<double> qs = Quantiles(std::move(values), {0.10, 0.50, 0.90});
+  q.p10 = qs[0];
+  q.p50 = qs[1];
+  q.p90 = qs[2];
+  return q;
+}
+
+double SafeRatio(size_t num, size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+SessionFleet::SessionFleet(FleetConfig config, std::vector<TenantSpec> tenants)
+    : config_(config), specs_(std::move(tenants)) {}
+
+Status SessionFleet::Materialize() {
+  // A failed (re-)build must leave the fleet un-steppable, mirroring the
+  // session contract.
+  bootstrapped_ = false;
+  ITRIM_RETURN_NOT_OK(config_.Validate());
+  if (specs_.empty()) {
+    return Status::InvalidArgument("fleet needs at least one tenant");
+  }
+  // Materialization is cheap and allocation-heavy; run it serially so the
+  // first invalid spec is reported deterministically.
+  tenants_.clear();
+  tenants_.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    uint64_t seed = config_.derive_tenant_seeds
+                        ? DeriveTenantSeed(config_.seed, i)
+                        : specs_[i].game.seed;
+    Result<Tenant> tenant = MaterializeTenant(specs_[i], seed);
+    if (!tenant.ok()) {
+      return TenantStatus(i, specs_[i].name, tenant.status());
+    }
+    tenants_.push_back(std::move(tenant).ValueOrDie());
+  }
+  return Status::OK();
+}
+
+Status SessionFleet::Bootstrap() {
+  ITRIM_RETURN_NOT_OK(Materialize());
+
+  // Bootstraps are where the real work is (clean calibration samples,
+  // PositionMap geometry): shard them across the pool. Statuses land in
+  // per-tenant slots; the first failure in tenant order wins.
+  const size_t n = tenants_.size();
+  std::vector<Status> statuses(n);
+  ParallelForShards(
+      n, static_cast<size_t>(config_.shard_size),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          statuses[i] = tenants_[i].session->Bootstrap();
+        }
+      },
+      config_.threads);
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      return TenantStatus(i, specs_[i].name, statuses[i]);
+    }
+  }
+
+  round_aggregates_.clear();
+  next_round_ = 1;
+  bootstrapped_ = true;
+  return Status::OK();
+}
+
+Result<FleetRoundAggregate> SessionFleet::StepRound() {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("fleet is not bootstrapped");
+  }
+  const size_t n = tenants_.size();
+  std::vector<RoundRecord> records(n);
+  std::vector<Status> statuses(n);
+  ParallelForShards(
+      n, static_cast<size_t>(config_.shard_size),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          Result<RoundRecord> record = tenants_[i].session->Step();
+          if (record.ok()) {
+            records[i] = std::move(record).ValueOrDie();
+          } else {
+            statuses[i] = record.status();
+          }
+        }
+      },
+      config_.threads);
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      // A partial round breaks the lockstep invariant (some sessions have
+      // advanced, this one has not); the fleet must not be steppable
+      // again, or later aggregates would mix records of different rounds.
+      bootstrapped_ = false;
+      return TenantStatus(i, specs_[i].name, statuses[i]);
+    }
+  }
+
+  FleetRoundAggregate aggregate = ReduceRound(next_round_, records);
+  round_aggregates_.push_back(aggregate);
+  ++next_round_;
+  return aggregate;
+}
+
+Result<FleetSummary> SessionFleet::RunToCompletion() {
+  ITRIM_RETURN_NOT_OK(Bootstrap());
+  for (int round = 1; round <= config_.rounds; ++round) {
+    ITRIM_RETURN_NOT_OK(StepRound().status());
+  }
+  return Finish();
+}
+
+FleetSummary SessionFleet::Finish() const {
+  FleetSummary summary;
+  summary.rounds = round_aggregates_;
+  summary.tenants.reserve(tenants_.size());
+  std::vector<double> untrimmed, benign_loss, survival;
+  untrimmed.reserve(tenants_.size());
+  benign_loss.reserve(tenants_.size());
+  survival.reserve(tenants_.size());
+  for (const Tenant& tenant : tenants_) {
+    GameSummary game = tenant.session->Finish();
+    untrimmed.push_back(game.UntrimmedPoisonFraction());
+    benign_loss.push_back(game.BenignLossFraction());
+    survival.push_back(game.PoisonSurvivalRate());
+    summary.total_received += game.TotalReceived();
+    summary.total_kept += game.TotalKept();
+    summary.total_poison_kept += game.TotalPoisonKept();
+    summary.tenants.push_back(std::move(game));
+  }
+  summary.untrimmed_poison_fraction = QuantileTriple(std::move(untrimmed));
+  summary.benign_loss_fraction = QuantileTriple(std::move(benign_loss));
+  summary.poison_survival_rate = QuantileTriple(std::move(survival));
+  return summary;
+}
+
+FleetCheckpoint SessionFleet::Checkpoint() const {
+  FleetCheckpoint checkpoint;
+  checkpoint.next_round = next_round_;
+  checkpoint.sessions.reserve(tenants_.size());
+  for (const Tenant& tenant : tenants_) {
+    checkpoint.sessions.push_back(tenant.session->Checkpoint());
+  }
+  return checkpoint;
+}
+
+Status SessionFleet::Restore(const FleetCheckpoint& checkpoint) {
+  // Rebuild tenants from the specs (fresh strategies/models), then drop
+  // each session onto its checkpointed stream state — session Restore runs
+  // its own bootstrap internally, so the fleet-level bootstrap pass is
+  // skipped here (running it too would do every clean calibration twice).
+  // Session restores replay the recorded observations, so strategy state
+  // is reconstructed exactly; the fleet's aggregates are then recomputed
+  // from the replayed records (tenant order), keeping FleetCheckpoint
+  // minimal.
+  ITRIM_RETURN_NOT_OK(Materialize());
+  if (checkpoint.sessions.size() != tenants_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint holds " + std::to_string(checkpoint.sessions.size()) +
+        " sessions for a fleet of " + std::to_string(tenants_.size()));
+  }
+  // Lockstep stepping means every session must carry exactly the rounds
+  // the fleet played; a checkpoint violating that (hand-edited, corrupted,
+  // or from a non-lockstep source) would index past records() below.
+  if (checkpoint.next_round < 1) {
+    return Status::InvalidArgument("checkpoint next_round must be >= 1");
+  }
+  const size_t rounds_played = static_cast<size_t>(checkpoint.next_round - 1);
+  for (size_t i = 0; i < checkpoint.sessions.size(); ++i) {
+    if (checkpoint.sessions[i].records.size() != rounds_played ||
+        checkpoint.sessions[i].next_round != checkpoint.next_round) {
+      return Status::InvalidArgument(
+          "checkpoint session #" + std::to_string(i) + " holds " +
+          std::to_string(checkpoint.sessions[i].records.size()) +
+          " round records at round " +
+          std::to_string(checkpoint.sessions[i].next_round) +
+          " for a fleet at round " + std::to_string(checkpoint.next_round));
+    }
+  }
+
+  const size_t n = tenants_.size();
+  std::vector<Status> statuses(n);
+  ParallelForShards(
+      n, static_cast<size_t>(config_.shard_size),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          statuses[i] = tenants_[i].session->Restore(checkpoint.sessions[i]);
+        }
+      },
+      config_.threads);
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      return TenantStatus(i, specs_[i].name, statuses[i]);
+    }
+  }
+  next_round_ = checkpoint.next_round;
+  RebuildAggregates();
+  bootstrapped_ = true;
+  return Status::OK();
+}
+
+FleetRoundAggregate SessionFleet::ReduceRound(
+    int round, const std::vector<RoundRecord>& records) const {
+  FleetRoundAggregate aggregate;
+  aggregate.round = round;
+  aggregate.tenants = records.size();
+  std::vector<double> trim_rates, acceptances, qualities;
+  trim_rates.reserve(records.size());
+  acceptances.reserve(records.size());
+  qualities.reserve(records.size());
+  for (const RoundRecord& record : records) {
+    aggregate.benign_received += record.benign_received;
+    aggregate.poison_received += record.poison_received;
+    aggregate.benign_kept += record.benign_kept;
+    aggregate.poison_kept += record.poison_kept;
+    size_t received = record.benign_received + record.poison_received;
+    size_t kept = record.benign_kept + record.poison_kept;
+    trim_rates.push_back(SafeRatio(received - kept, received));
+    acceptances.push_back(SafeRatio(record.poison_kept,
+                                    record.poison_received));
+    qualities.push_back(record.quality);
+  }
+  size_t received = aggregate.benign_received + aggregate.poison_received;
+  size_t kept = aggregate.benign_kept + aggregate.poison_kept;
+  aggregate.trim_rate = SafeRatio(received - kept, received);
+  aggregate.poison_acceptance =
+      SafeRatio(aggregate.poison_kept, aggregate.poison_received);
+  aggregate.tenant_trim_rate = QuantileTriple(std::move(trim_rates));
+  aggregate.tenant_poison_acceptance = QuantileTriple(std::move(acceptances));
+  aggregate.tenant_quality = QuantileTriple(std::move(qualities));
+  return aggregate;
+}
+
+void SessionFleet::RebuildAggregates() {
+  round_aggregates_.clear();
+  const size_t rounds_played = static_cast<size_t>(next_round_ - 1);
+  round_aggregates_.reserve(rounds_played);
+  std::vector<RoundRecord> row(tenants_.size());
+  for (size_t r = 0; r < rounds_played; ++r) {
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+      row[i] = tenants_[i].session->records()[r];
+    }
+    round_aggregates_.push_back(ReduceRound(static_cast<int>(r) + 1, row));
+  }
+}
+
+}  // namespace itrim

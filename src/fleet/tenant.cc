@@ -1,0 +1,104 @@
+#include "fleet/tenant.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "ldp/report_score_model.h"
+
+namespace itrim {
+
+std::string TenantModelKindName(TenantModelKind kind) {
+  switch (kind) {
+    case TenantModelKind::kScalar:
+      return "scalar";
+    case TenantModelKind::kDistance:
+      return "distance";
+    case TenantModelKind::kLdp:
+      return "ldp";
+  }
+  return "unknown";
+}
+
+Status TenantSpec::Validate() const {
+  ITRIM_RETURN_NOT_OK(game.Validate());
+  switch (model) {
+    case TenantModelKind::kScalar:
+      if (scalar_pool == nullptr || scalar_pool->empty()) {
+        return Status::InvalidArgument(
+            "scalar tenant needs a non-empty scalar_pool");
+      }
+      break;
+    case TenantModelKind::kDistance:
+      if (dataset == nullptr || dataset->rows.empty()) {
+        return Status::InvalidArgument(
+            "distance tenant needs a non-empty dataset");
+      }
+      break;
+    case TenantModelKind::kLdp:
+      if (ldp_population == nullptr || ldp_population->empty()) {
+        return Status::InvalidArgument(
+            "ldp tenant needs a non-empty ldp_population");
+      }
+      if (ldp_mechanism == nullptr) {
+        return Status::InvalidArgument("ldp tenant needs an ldp_mechanism");
+      }
+      // Groundtruth tenants run with attack_ratio forced to 0 at
+      // materialization, so they never draw a poison report.
+      if (ldp_attack == nullptr && game.attack_ratio > 0.0 &&
+          scheme != SchemeId::kGroundtruth) {
+        return Status::InvalidArgument(
+            "ldp tenant with attack_ratio > 0 needs an ldp_attack");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+uint64_t DeriveTenantSeed(uint64_t fleet_seed, size_t tenant_index) {
+  // Weyl-offset SplitMix64: distinct, well-mixed streams per index, and a
+  // pure function of (fleet_seed, index) so scheduling cannot perturb it.
+  uint64_t index = static_cast<uint64_t>(tenant_index) + 1;
+  SplitMix64 stream(fleet_seed ^ (0x9E3779B97F4A7C15ULL * index));
+  return stream.Next();
+}
+
+Result<Tenant> MaterializeTenant(const TenantSpec& spec, uint64_t seed) {
+  ITRIM_RETURN_NOT_OK(spec.Validate());
+  Tenant tenant;
+  tenant.spec = spec;
+  tenant.config = spec.game;
+  tenant.config.seed = seed;
+  if (spec.scheme == SchemeId::kGroundtruth) {
+    // Clean reference tenant, as in the experiment runners.
+    tenant.config.attack_ratio = 0.0;
+  }
+  tenant.scheme =
+      MakeScheme(spec.scheme, tenant.config.tth, spec.scheme_options);
+
+  AdversaryStrategy* adversary = tenant.scheme.adversary.get();
+  switch (spec.model) {
+    case TenantModelKind::kScalar:
+      tenant.model = std::make_unique<IdentityScoreModel>(spec.scalar_pool);
+      break;
+    case TenantModelKind::kDistance:
+      tenant.model = std::make_unique<DistanceScoreModel>(spec.dataset);
+      break;
+    case TenantModelKind::kLdp:
+      tenant.model = std::make_unique<LdpReportScoreModel>(
+          spec.ldp_population, spec.ldp_mechanism, spec.ldp_attack,
+          tenant.config.tth);
+      // Poison is materialized by the attack; the session runs without an
+      // AdversaryStrategy, exactly like the LdpCollectionGame path (an
+      // adversary would consume RNG draws the LDP stream never did).
+      adversary = nullptr;
+      // The symmetric band trim is defined against the board reference.
+      tenant.config.round_mass_trimming = false;
+      break;
+  }
+  tenant.session = std::make_unique<TrimmingSession>(
+      tenant.config, tenant.model.get(), tenant.scheme.collector.get(),
+      adversary, tenant.scheme.quality.get());
+  return tenant;
+}
+
+}  // namespace itrim

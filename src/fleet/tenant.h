@@ -1,0 +1,94 @@
+// One tenant of a SessionFleet: a declarative spec and its materialized
+// per-tenant game objects.
+//
+// The fleet serves many concurrent trimming games, and tenants are
+// deliberately heterogeneous — a production collector fields scalar
+// streams, d-dimensional ML feeds and LDP report channels side by side,
+// each defended by its own strategy pair (the scenario space of randomized
+// prediction games: a *population* of strategy mixes, not one matchup).
+// TenantSpec is the declarative description (data setting, scheme, game
+// shape); MaterializeTenant turns it into owned strategy/model/session
+// objects so tenants can be stepped independently on any thread.
+#ifndef ITRIM_FLEET_TENANT_H_
+#define ITRIM_FLEET_TENANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "exp/schemes.h"
+#include "game/score_model.h"
+#include "game/session.h"
+#include "ldp/attacks.h"
+#include "ldp/mechanism.h"
+
+namespace itrim {
+
+/// \brief Data setting a tenant's session runs in.
+enum class TenantModelKind {
+  kScalar = 0,  ///< IdentityScoreModel over a shared value pool
+  kDistance,    ///< DistanceScoreModel over a shared Dataset
+  kLdp,         ///< LdpReportScoreModel over population + mechanism + attack
+};
+
+/// \brief Display name of a model kind ("scalar", "distance", "ldp").
+std::string TenantModelKindName(TenantModelKind kind);
+
+/// \brief Declarative description of one fleet tenant.
+///
+/// Data sources are borrowed and must outlive the fleet; they are shared
+/// read-only across tenants (the LDP mechanism is const and thread-safe,
+/// the attack is not promised to be — give each LDP tenant its own attack
+/// instance when stepping in parallel). The per-tenant `game` seed is
+/// overwritten with a derived stream when the owning fleet's
+/// `derive_tenant_seeds` is set (the default), so tenants never share RNG
+/// streams by accident.
+struct TenantSpec {
+  std::string name;  ///< optional label surfaced in summaries/errors
+  TenantModelKind model = TenantModelKind::kScalar;
+  SchemeId scheme = SchemeId::kElastic05;
+  SchemeOptions scheme_options;
+  GameConfig game;
+
+  // Data sources, required per model kind:
+  const std::vector<double>* scalar_pool = nullptr;   ///< kScalar
+  const Dataset* dataset = nullptr;                   ///< kDistance
+  const std::vector<double>* ldp_population = nullptr;  ///< kLdp
+  const LdpMechanism* ldp_mechanism = nullptr;          ///< kLdp
+  LdpAttack* ldp_attack = nullptr;                      ///< kLdp
+
+  /// \brief Checks the game config and the model kind's data sources.
+  Status Validate() const;
+};
+
+/// \brief A materialized tenant: owned strategies, score model and session.
+///
+/// Movable, not copyable. The session borrows the other members, which are
+/// heap-owned, so moving a Tenant keeps every borrowed pointer valid.
+struct Tenant {
+  TenantSpec spec;             ///< the spec this tenant was built from
+  GameConfig config;           ///< effective config (derived seed applied)
+  SchemeInstance scheme;       ///< owned collector/adversary/quality
+  std::unique_ptr<ScoreModel> model;
+  std::unique_ptr<TrimmingSession> session;
+};
+
+/// \brief Deterministic per-tenant seed stream: a pure function of the
+/// fleet seed and the tenant index, so materialization order and thread
+/// count never influence any tenant's randomness.
+uint64_t DeriveTenantSeed(uint64_t fleet_seed, size_t tenant_index);
+
+/// \brief Builds the tenant's strategies, score model and (un-bootstrapped)
+/// session from a validated spec. `seed` becomes the session seed;
+/// Groundtruth tenants run with attack_ratio forced to 0 (the clean
+/// reference, as in the experiment runners). LDP tenants run without an
+/// AdversaryStrategy (their attack materializes poison itself) and with
+/// board-reference trimming semantics.
+Result<Tenant> MaterializeTenant(const TenantSpec& spec, uint64_t seed);
+
+}  // namespace itrim
+
+#endif  // ITRIM_FLEET_TENANT_H_

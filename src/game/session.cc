@@ -69,6 +69,22 @@ size_t GameSummary::TotalBenignKept() const {
   return n;
 }
 
+size_t GameSummary::TotalReceived() const {
+  return TotalPoisonReceived() + TotalBenignReceived();
+}
+
+size_t GameSummary::TotalPoisonReceived() const {
+  size_t n = 0;
+  for (const auto& r : rounds) n += r.poison_received;
+  return n;
+}
+
+size_t GameSummary::TotalBenignReceived() const {
+  size_t n = 0;
+  for (const auto& r : rounds) n += r.benign_received;
+  return n;
+}
+
 namespace {
 
 // Builds the context both strategies see at the start of round i.

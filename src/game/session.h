@@ -92,6 +92,9 @@ struct GameSummary {
   size_t TotalKept() const;
   size_t TotalPoisonKept() const;
   size_t TotalBenignKept() const;
+  size_t TotalReceived() const;
+  size_t TotalPoisonReceived() const;
+  size_t TotalBenignReceived() const;
 };
 
 /// \brief Serializable mid-stream state of a TrimmingSession.
@@ -146,6 +149,8 @@ class TrimmingSession {
 
   const GameConfig& config() const { return config_; }
   const PublicBoard& board() const { return board_; }
+  /// \brief Records of every round played so far, in round order.
+  const std::vector<RoundRecord>& records() const { return records_; }
   /// \brief 1-based index of the next round Step() would play.
   int next_round() const { return next_round_; }
   bool bootstrapped() const { return bootstrapped_; }

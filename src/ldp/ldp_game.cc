@@ -10,6 +10,7 @@
 #include "game/score_model.h"
 #include "game/session.h"
 #include "game/trimmer.h"
+#include "ldp/report_score_model.h"
 
 namespace itrim {
 
@@ -32,138 +33,8 @@ Status LdpGameConfig::Validate() const {
 
 namespace {
 
-// ScoreModel of the LDP setting: honest perturbed reports are the scores,
-// poison reports come from the manipulation attack (which ignores the
-// engine's percentile guidance — the session runs without an
-// AdversaryStrategy), and reference trimming keeps the symmetric
-// [1 - q, q] percentile band of the clean report reference. Symmetric
-// truncation keeps the mean estimator unbiased under the mechanisms'
-// symmetric noise while the upper cut removes the attack's high-side mass;
-// the lower cut's false positives are what inflate MSE at small epsilon
-// (the Fig 9 inflection).
-class LdpReportScoreModel : public ScoreModel {
- public:
-  LdpReportScoreModel(const std::vector<double>* population,
-                      const LdpMechanism* mechanism, LdpAttack* attack,
-                      double tth)
-      : population_(population), mechanism_(mechanism), attack_(attack),
-        tth_(tth) {}
-
-  std::string name() const override { return "ldp_report"; }
-  uint64_t BoardSeedSalt() const override { return 0x1234567ULL; }
-  // Poison reports come from the LdpAttack, not from percentile guidance.
-  bool RequiresAdversaryPositions() const override { return false; }
-
-  Status BeginRun() override {
-    if (population_ == nullptr || population_->empty()) {
-      return Status::FailedPrecondition("empty population");
-    }
-    retained_.clear();
-    return Status::OK();
-  }
-
-  Status Bootstrap(size_t bootstrap_size, Rng* rng,
-                   PublicBoard* board) override {
-    // Clean bootstrap of honest reports fixes the percentile reference
-    // (the calibration sample behind Algorithm 1's QE(X0)).
-    for (size_t i = 0; i < bootstrap_size; ++i) {
-      double x = (*population_)[rng->UniformInt(population_->size())];
-      board->RecordOne(mechanism_->Perturb(x, rng));
-    }
-    return Status::OK();
-  }
-
-  // The attack fields a fixed head count per round, not an accrued quota.
-  size_t PoisonCount(const GameConfig& config, double* /*quota*/) const
-      override {
-    return static_cast<size_t>(std::llround(
-        config.attack_ratio * static_cast<double>(config.round_size)));
-  }
-
-  void BeginRound(size_t expected) override {
-    reports_.clear();
-    is_poison_.clear();
-    reports_.reserve(expected);
-    is_poison_.reserve(expected);
-  }
-
-  void AppendBenign(size_t count, Rng* rng) override {
-    for (size_t i = 0; i < count; ++i) {
-      double x = (*population_)[rng->UniformInt(population_->size())];
-      reports_.push_back(mechanism_->Perturb(x, rng));
-      is_poison_.push_back(0);
-    }
-  }
-
-  Status AppendPoison(double /*position*/, Rng* rng,
-                      const PublicBoard& /*board*/) override {
-    reports_.push_back(attack_->PoisonReport(*mechanism_, rng));
-    is_poison_.push_back(1);
-    return Status::OK();
-  }
-
-  const std::vector<double>& scores() const override { return reports_; }
-  const std::vector<char>& is_poison() const override { return is_poison_; }
-
-  // Collector-side estimate of the attack position: the board rank of the
-  // centroid of this round's upper-tail excess (what an Elastic defender
-  // can actually observe).
-  double InjectionSignal(const PublicBoard& board,
-                         double /*adversary_mean*/) const override {
-    double estimate = std::nan("");
-    auto tail_cut = board.Quantile(tth_);
-    if (tail_cut.ok()) {
-      double sum = 0.0;
-      size_t count = 0;
-      for (double v : reports_) {
-        if (v > *tail_cut) {
-          sum += v;
-          ++count;
-        }
-      }
-      if (count > 0) {
-        estimate = board.PercentileRank(sum / static_cast<double>(count));
-      }
-    }
-    return estimate;
-  }
-
-  Result<TrimOutcome> TrimAtReference(double percentile,
-                                      const PublicBoard& board) override {
-    TrimOutcome outcome;
-    ITRIM_ASSIGN_OR_RETURN(double upper_cut, board.Quantile(percentile));
-    ITRIM_ASSIGN_OR_RETURN(double lower_cut,
-                           board.Quantile(1.0 - percentile));
-    outcome.cutoff = upper_cut;
-    outcome.keep.assign(reports_.size(), 1);
-    for (size_t i = 0; i < reports_.size(); ++i) {
-      if (reports_[i] > upper_cut || reports_[i] < lower_cut) {
-        outcome.keep[i] = 0;
-        ++outcome.removed_count;
-      } else {
-        ++outcome.kept_count;
-      }
-    }
-    return outcome;
-  }
-
-  void Commit(const std::vector<char>& keep) override {
-    for (size_t i = 0; i < reports_.size(); ++i) {
-      if (keep[i]) retained_.push_back(reports_[i]);
-    }
-  }
-
-  const std::vector<double>& retained() const { return retained_; }
-
- private:
-  const std::vector<double>* population_;
-  const LdpMechanism* mechanism_;
-  LdpAttack* attack_;
-  double tth_;
-  std::vector<double> reports_;
-  std::vector<char> is_poison_;
-  std::vector<double> retained_;
-};
+// The LDP ScoreModel lives in ldp/report_score_model.h so fleet tenants
+// can instantiate it too; this file only maps configs and estimators.
 
 // Maps the LDP configuration onto the shared engine configuration.
 GameConfig SessionConfig(const LdpGameConfig& config) {

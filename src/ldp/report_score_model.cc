@@ -1,0 +1,102 @@
+#include "ldp/report_score_model.h"
+
+#include <cmath>
+
+namespace itrim {
+
+Status LdpReportScoreModel::BeginRun() {
+  if (population_ == nullptr || population_->empty()) {
+    return Status::FailedPrecondition("empty population");
+  }
+  retained_.clear();
+  return Status::OK();
+}
+
+Status LdpReportScoreModel::Bootstrap(size_t bootstrap_size, Rng* rng,
+                                      PublicBoard* board) {
+  // Clean bootstrap of honest reports fixes the percentile reference
+  // (the calibration sample behind Algorithm 1's QE(X0)).
+  for (size_t i = 0; i < bootstrap_size; ++i) {
+    double x = (*population_)[rng->UniformInt(population_->size())];
+    board->RecordOne(mechanism_->Perturb(x, rng));
+  }
+  return Status::OK();
+}
+
+// The attack fields a fixed head count per round, not an accrued quota.
+size_t LdpReportScoreModel::PoisonCount(const GameConfig& config,
+                                        double* /*quota*/) const {
+  return static_cast<size_t>(std::llround(
+      config.attack_ratio * static_cast<double>(config.round_size)));
+}
+
+void LdpReportScoreModel::BeginRound(size_t expected) {
+  reports_.clear();
+  is_poison_.clear();
+  reports_.reserve(expected);
+  is_poison_.reserve(expected);
+}
+
+void LdpReportScoreModel::AppendBenign(size_t count, Rng* rng) {
+  for (size_t i = 0; i < count; ++i) {
+    double x = (*population_)[rng->UniformInt(population_->size())];
+    reports_.push_back(mechanism_->Perturb(x, rng));
+    is_poison_.push_back(0);
+  }
+}
+
+Status LdpReportScoreModel::AppendPoison(double /*position*/, Rng* rng,
+                                         const PublicBoard& /*board*/) {
+  reports_.push_back(attack_->PoisonReport(*mechanism_, rng));
+  is_poison_.push_back(1);
+  return Status::OK();
+}
+
+// Collector-side estimate of the attack position: the board rank of the
+// centroid of this round's upper-tail excess (what an Elastic defender
+// can actually observe).
+double LdpReportScoreModel::InjectionSignal(const PublicBoard& board,
+                                            double /*adversary_mean*/) const {
+  double estimate = std::nan("");
+  auto tail_cut = board.Quantile(tth_);
+  if (tail_cut.ok()) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (double v : reports_) {
+      if (v > *tail_cut) {
+        sum += v;
+        ++count;
+      }
+    }
+    if (count > 0) {
+      estimate = board.PercentileRank(sum / static_cast<double>(count));
+    }
+  }
+  return estimate;
+}
+
+Result<TrimOutcome> LdpReportScoreModel::TrimAtReference(
+    double percentile, const PublicBoard& board) {
+  TrimOutcome outcome;
+  ITRIM_ASSIGN_OR_RETURN(double upper_cut, board.Quantile(percentile));
+  ITRIM_ASSIGN_OR_RETURN(double lower_cut, board.Quantile(1.0 - percentile));
+  outcome.cutoff = upper_cut;
+  outcome.keep.assign(reports_.size(), 1);
+  for (size_t i = 0; i < reports_.size(); ++i) {
+    if (reports_[i] > upper_cut || reports_[i] < lower_cut) {
+      outcome.keep[i] = 0;
+      ++outcome.removed_count;
+    } else {
+      ++outcome.kept_count;
+    }
+  }
+  return outcome;
+}
+
+void LdpReportScoreModel::Commit(const std::vector<char>& keep) {
+  for (size_t i = 0; i < reports_.size(); ++i) {
+    if (keep[i]) retained_.push_back(reports_[i]);
+  }
+}
+
+}  // namespace itrim

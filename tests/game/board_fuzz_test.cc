@@ -1,0 +1,202 @@
+// Differential fuzzing of the IndexedBoard order statistics against the
+// sorted oracle, concentrated on the path indexed_board_test.cc covers
+// least: the board_capacity reservoir boundary, where every record past
+// capacity becomes an EraseOne(old slot value) + Insert(new value) pair on
+// the index while the multiset size stays pinned at the cap.
+//
+// The interleavings are adversarial rather than uniform: monotone runs
+// (degenerate insertion orders for a balanced tree), duplicate floods
+// (equal-key split/merge ties), sign-flipping extremes (interpolation
+// across huge gaps), and hover loops that keep the size oscillating
+// exactly at the boundary. Every check is exact — bitwise agreement with
+// QuantileSorted / PercentileRankSorted over the same multiset — so any
+// divergence, however small, is a treap bug, not noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "game/indexed_board.h"
+#include "game/public_board.h"
+#include "stats/quantile.h"
+
+#include "game/summary_test_util.h"
+
+namespace itrim {
+namespace {
+
+// Adversarial value generators; `step` counts calls so monotone patterns
+// keep marching across Clear()s.
+enum class ValuePattern {
+  kUniform,
+  kAscending,
+  kDescending,
+  kDuplicateFlood,
+  kSignFlipExtremes,
+};
+
+std::string PatternName(ValuePattern p) {
+  switch (p) {
+    case ValuePattern::kUniform:
+      return "Uniform";
+    case ValuePattern::kAscending:
+      return "Ascending";
+    case ValuePattern::kDescending:
+      return "Descending";
+    case ValuePattern::kDuplicateFlood:
+      return "DuplicateFlood";
+    case ValuePattern::kSignFlipExtremes:
+      return "SignFlipExtremes";
+  }
+  return "Unknown";
+}
+
+double DrawValue(ValuePattern pattern, size_t step, Rng* rng) {
+  switch (pattern) {
+    case ValuePattern::kUniform:
+      return rng->Uniform(-4.0, 4.0);
+    case ValuePattern::kAscending:
+      return static_cast<double>(step) + rng->Uniform() * 0.25;
+    case ValuePattern::kDescending:
+      return -static_cast<double>(step) - rng->Uniform() * 0.25;
+    case ValuePattern::kDuplicateFlood:
+      // Five distinct keys only: every split/merge hits equal-key ties.
+      return static_cast<double>(rng->UniformInt(5));
+    case ValuePattern::kSignFlipExtremes:
+      return (step % 2 == 0 ? 1.0 : -1.0) *
+             (rng->Bernoulli(0.5) ? 1e300 : 1e-300);
+  }
+  return 0.0;
+}
+
+// Exhaustive cross-check of one multiset state: every k, every boundary q,
+// and ranks probed at the stored values themselves (the <= tie path) plus
+// nudges on both sides.
+void CheckAllOrderStatistics(const IndexedBoard& board,
+                             std::vector<double> mirror) {
+  std::sort(mirror.begin(), mirror.end());
+  ASSERT_EQ(board.size(), mirror.size());
+  if (mirror.empty()) {
+    EXPECT_FALSE(board.Quantile(0.5).ok());
+    EXPECT_TRUE(BitEqual(board.PercentileRank(0.0), 0.0));
+    return;
+  }
+  for (size_t k = 0; k < mirror.size(); ++k) {
+    ASSERT_TRUE(BitEqual(board.Kth(k), mirror[k])) << "k=" << k;
+  }
+  const size_t n = mirror.size();
+  std::vector<double> probes = {0.0, 1.0, 0.5};
+  for (size_t i = 0; i < n; ++i) {
+    // The prctile interpolation knots (i + 0.5) / n and the raw ranks.
+    probes.push_back((static_cast<double>(i) + 0.5) / static_cast<double>(n));
+    probes.push_back(static_cast<double>(i) / static_cast<double>(n));
+  }
+  for (double q : probes) {
+    ASSERT_TRUE(BitEqual(board.Quantile(q).ValueOrDie(),
+                         QuantileSorted(mirror, q)))
+        << "q=" << q;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (double x : {mirror[i], std::nextafter(mirror[i], 1e308),
+                     std::nextafter(mirror[i], -1e308)}) {
+      ASSERT_TRUE(BitEqual(board.PercentileRank(x),
+                           PercentileRankSorted(mirror, x)))
+          << "x=" << x;
+    }
+  }
+}
+
+class BoardFuzzTest : public ::testing::TestWithParam<ValuePattern> {};
+
+// Phase 1: the raw index under reservoir-shaped churn. Fill to a boundary
+// B, then hover: each op replaces a random resident value (EraseOne +
+// Insert — the exact call pair PublicBoard::RecordOne issues past
+// capacity), with occasional dips below and bursts above the boundary.
+TEST_P(BoardFuzzTest, ReservoirShapedChurnMatchesSortedOracle) {
+  const ValuePattern pattern = GetParam();
+  SCOPED_TRACE(PatternName(pattern));
+  for (size_t boundary : {1u, 2u, 3u, 8u, 33u}) {
+    SCOPED_TRACE("boundary " + std::to_string(boundary));
+    IndexedBoard board;
+    std::vector<double> mirror;  // unsorted multiset mirror
+    Rng rng(1000 + boundary);
+    size_t step = 0;
+    for (int op = 0; op < 1200; ++op) {
+      double roll = rng.Uniform();
+      if (mirror.size() < boundary ||
+          (roll < 0.15 && mirror.size() < 2 * boundary)) {
+        double v = DrawValue(pattern, step++, &rng);
+        board.Insert(v);
+        mirror.push_back(v);
+      } else if (roll < 0.85 || mirror.empty()) {
+        // The replacement pair, against a random resident slot.
+        size_t slot = static_cast<size_t>(rng.UniformInt(mirror.size()));
+        ASSERT_TRUE(board.EraseOne(mirror[slot]));
+        double v = DrawValue(pattern, step++, &rng);
+        board.Insert(v);
+        mirror[slot] = v;
+      } else {
+        // Dip below the boundary.
+        size_t slot = static_cast<size_t>(rng.UniformInt(mirror.size()));
+        ASSERT_TRUE(board.EraseOne(mirror[slot]));
+        mirror[slot] = mirror.back();
+        mirror.pop_back();
+      }
+      if (op % 37 == 0 || mirror.size() == boundary) {
+        CheckAllOrderStatistics(board, mirror);
+      }
+    }
+    CheckAllOrderStatistics(board, mirror);
+  }
+}
+
+// Phase 2: PublicBoard end to end at tiny capacities, checked after every
+// single record while the stream crosses the boundary — the first
+// replacement, the steady state, and a mid-stream Clear + refill.
+TEST_P(BoardFuzzTest, PublicBoardAtReservoirBoundaryMatchesSortedOracle) {
+  const ValuePattern pattern = GetParam();
+  SCOPED_TRACE(PatternName(pattern));
+  for (size_t capacity : {1u, 2u, 3u, 7u, 64u}) {
+    SCOPED_TRACE("capacity " + std::to_string(capacity));
+    PublicBoard board(capacity, /*seed=*/capacity * 31 + 7);
+    Rng rng(500 + capacity);
+    size_t step = 0;
+    for (int op = 0; op < 900; ++op) {
+      if (op == 450) {
+        board.Clear();
+        EXPECT_EQ(board.size(), 0u);
+      }
+      board.RecordOne(DrawValue(pattern, step++, &rng));
+      ASSERT_LE(board.size(), capacity);
+      std::vector<double> sorted = board.values();
+      std::sort(sorted.begin(), sorted.end());
+      double q = rng.Uniform();
+      ASSERT_TRUE(BitEqual(board.Quantile(q).ValueOrDie(),
+                           QuantileSorted(sorted, q)));
+      ASSERT_TRUE(BitEqual(board.Quantile(0.0).ValueOrDie(), sorted.front()));
+      ASSERT_TRUE(BitEqual(board.Quantile(1.0).ValueOrDie(), sorted.back()));
+      double x = sorted[rng.UniformInt(sorted.size())];
+      ASSERT_TRUE(
+          BitEqual(board.PercentileRank(x), PercentileRankSorted(sorted, x)));
+      ASSERT_TRUE(BitEqual(board.PercentileRank(x - 0.5),
+                           PercentileRankSorted(sorted, x - 0.5)));
+    }
+    // The reservoir really did engage: far more arrived than is held.
+    EXPECT_EQ(board.size(), std::min<size_t>(capacity, 450));
+    EXPECT_EQ(board.total_recorded(), 450u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, BoardFuzzTest,
+    ::testing::Values(ValuePattern::kUniform, ValuePattern::kAscending,
+                      ValuePattern::kDescending,
+                      ValuePattern::kDuplicateFlood,
+                      ValuePattern::kSignFlipExtremes),
+    [](const auto& info) { return PatternName(info.param); });
+
+}  // namespace
+}  // namespace itrim

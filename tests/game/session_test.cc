@@ -30,6 +30,8 @@
 #include "ldp/mechanism.h"
 #include "stats/quantile.h"
 
+#include "game/summary_test_util.h"
+
 namespace itrim {
 namespace {
 
@@ -531,41 +533,9 @@ Result<LdpRunResult> LegacyLdpRunTrimming(const LdpGameConfig& config,
   return result;
 }
 
-// --------------------------------------------------------------------------
-// Comparison helpers (bitwise so NaN == NaN and -0.0 != 0.0 are handled
-// the way "bit-identical" means it)
-// --------------------------------------------------------------------------
-
-bool BitEqual(double a, double b) {
-  return std::memcmp(&a, &b, sizeof(double)) == 0;
-}
-
-void ExpectSummaryBitIdentical(const GameSummary& a, const GameSummary& b) {
-  EXPECT_EQ(a.termination_round, b.termination_round);
-  ASSERT_EQ(a.rounds.size(), b.rounds.size());
-  for (size_t i = 0; i < a.rounds.size(); ++i) {
-    const RoundRecord& ra = a.rounds[i];
-    const RoundRecord& rb = b.rounds[i];
-    EXPECT_EQ(ra.round, rb.round) << "round " << i;
-    EXPECT_TRUE(BitEqual(ra.collector_percentile, rb.collector_percentile))
-        << "collector_percentile, round " << i;
-    EXPECT_TRUE(BitEqual(ra.injection_percentile, rb.injection_percentile))
-        << "injection_percentile, round " << i;
-    EXPECT_TRUE(BitEqual(ra.cutoff, rb.cutoff)) << "cutoff, round " << i;
-    EXPECT_TRUE(BitEqual(ra.quality, rb.quality)) << "quality, round " << i;
-    EXPECT_EQ(ra.benign_received, rb.benign_received) << "round " << i;
-    EXPECT_EQ(ra.poison_received, rb.poison_received) << "round " << i;
-    EXPECT_EQ(ra.benign_kept, rb.benign_kept) << "round " << i;
-    EXPECT_EQ(ra.poison_kept, rb.poison_kept) << "round " << i;
-  }
-}
-
-std::vector<double> UniformPool(size_t n, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> pool;
-  for (size_t i = 0; i < n; ++i) pool.push_back(rng.Uniform());
-  return pool;
-}
+// Bitwise comparison helpers and UniformPool live in
+// tests/game/summary_test_util.h, shared with the property and fleet
+// determinism suites.
 
 // --------------------------------------------------------------------------
 // Bit-identity across every scheme, both game variants, both trim semantics
