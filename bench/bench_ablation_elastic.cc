@@ -7,10 +7,14 @@
 // paper discusses: larger k responds more aggressively (deeper equilibrium
 // concession A*) but the coupled recurrence converges at rate k^2, so very
 // large k oscillates longer and pays more transition cost.
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <iostream>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "data/generators.h"
@@ -18,8 +22,10 @@
 #include "game/collection_game.h"
 #include "game/strategies.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
+  bench::BenchReporter reporter("ablation_elastic",
+                                bench::ParseFlags(argc, argv));
   const int reps = bench::EnvInt("ITRIM_BENCH_REPS", 3);
   Dataset data = MakeControl(7);
 
@@ -27,6 +33,7 @@ int main() {
   TablePrinter table({"k", "A*-Tth", "T*-Tth", "rounds to converge",
                       "roundwise cost@20 (%)", "untrimmed poison"});
   for (double k : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+    auto cell_start = std::chrono::steady_clock::now();
     ElasticTrace trace = TraceElasticDynamics(k, 400);
     int converge_round = 400;
     for (size_t i = 0; i < trace.adversary.size(); ++i) {
@@ -63,7 +70,17 @@ int main() {
     table.AddInt(converge_round);
     table.AddNumber(100.0 * ElasticRoundwiseCost(k, 20), 4);
     table.AddNumber(untrimmed / reps, 4);
+    char case_name[32];
+    std::snprintf(case_name, sizeof(case_name), "k=%.2f", k);
+    reporter.AddCase(case_name)
+        .Iterations(static_cast<uint64_t>(reps))
+        .Ops(static_cast<uint64_t>(reps))
+        .WallMs(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - cell_start)
+                    .count())
+        .Counter("converge_round", converge_round)
+        .Counter("untrimmed_poison", untrimmed / reps);
   }
   table.Print(std::cout);
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

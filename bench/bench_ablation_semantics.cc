@@ -11,16 +11,22 @@
 // default to round-mass (it reproduces the paper's partial-evasion numbers)
 // while the scalar games default to reference (it matches the game theory's
 // sharp threshold logic).
+#include <chrono>
 #include <iostream>
+#include <string>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "data/generators.h"
 #include "exp/schemes.h"
 #include "game/collection_game.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
+  bench::BenchReporter reporter("ablation_semantics",
+                                bench::ParseFlags(argc, argv));
   const double kTth = 0.9;
   const double kRatio = 0.3;
   const int reps = bench::EnvInt("ITRIM_BENCH_REPS", 3);
@@ -33,6 +39,7 @@ int main() {
                       "untrimmed fraction"});
   for (SchemeId id : PlottedSchemes()) {
     for (bool round_mass : {false, true}) {
+      auto cell_start = std::chrono::steady_clock::now();
       double survival = 0.0, loss = 0.0, untrimmed = 0.0;
       for (int rep = 0; rep < reps; ++rep) {
         SchemeOptions opts;
@@ -64,8 +71,18 @@ int main() {
       table.AddNumber(survival / reps, 4);
       table.AddNumber(loss / reps, 4);
       table.AddNumber(untrimmed / reps, 4);
+      reporter
+          .AddCase(std::string(SchemeName(id)) + "/" +
+                   (round_mass ? "round_mass" : "reference"))
+          .Iterations(static_cast<uint64_t>(reps))
+          .Ops(static_cast<uint64_t>(reps))
+          .WallMs(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - cell_start)
+                      .count())
+          .Counter("poison_survival", survival / reps)
+          .Counter("benign_loss", loss / reps);
     }
   }
   table.Print(std::cout);
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

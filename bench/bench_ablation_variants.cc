@@ -7,10 +7,15 @@
 // forgiving variants survive noise-induced false triggers (longer
 // cooperation, less benign loss) at the price of slightly more tolerated
 // poison.
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <memory>
+#include <string>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "data/generators.h"
@@ -19,8 +24,10 @@
 #include "game/strategies.h"
 #include "game/variants.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
+  bench::BenchReporter reporter("ablation_variants",
+                                bench::ParseFlags(argc, argv));
   const int reps = bench::EnvInt("ITRIM_BENCH_REPS", 8);
   Dataset data = MakeControl(77);
 
@@ -31,6 +38,7 @@ int main() {
                       "benign loss"});
   for (double p : {0.3, 0.7, 1.0}) {
     for (int variant = 0; variant < 4; ++variant) {
+      auto cell_start = std::chrono::steady_clock::now();
       double term = 0.0, untrimmed = 0.0, loss = 0.0;
       std::string name;
       for (int rep = 0; rep < reps; ++rep) {
@@ -88,8 +96,19 @@ int main() {
       table.AddNumber(term / reps, 2);
       table.AddNumber(untrimmed / reps, 4);
       table.AddNumber(loss / reps, 4);
+      char case_name[64];
+      std::snprintf(case_name, sizeof(case_name), "%s/p=%.1f", name.c_str(),
+                    p);
+      reporter.AddCase(case_name)
+          .Iterations(static_cast<uint64_t>(reps))
+          .Ops(static_cast<uint64_t>(reps))
+          .WallMs(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - cell_start)
+                      .count())
+          .Counter("avg_first_trigger", term / reps)
+          .Counter("untrimmed_poison", untrimmed / reps);
     }
   }
   table.Print(std::cout);
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

@@ -3,6 +3,6 @@
 #include "bench_fig_kmeans_common.h"
 
 int main(int argc, char** argv) {
-  return itrim::bench::RunKmeansFigure("Fig 4", 0.9,
-                                       itrim::bench::Jobs(argc, argv));
+  return itrim::bench::RunKmeansFigure(
+      "Fig 4", "fig4_kmeans", 0.9, itrim::bench::ParseFlags(argc, argv));
 }

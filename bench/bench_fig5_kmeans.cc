@@ -3,6 +3,6 @@
 #include "bench_fig_kmeans_common.h"
 
 int main(int argc, char** argv) {
-  return itrim::bench::RunKmeansFigure("Fig 5", 0.97,
-                                       itrim::bench::Jobs(argc, argv));
+  return itrim::bench::RunKmeansFigure(
+      "Fig 5", "fig5_kmeans", 0.97, itrim::bench::ParseFlags(argc, argv));
 }

@@ -3,25 +3,43 @@
 // accuracies 95.5 / 95.1 / 94.9 / 96.1 / 95.6 / 95.7 (Ostrich, Baseline0.9,
 // Baselinestatic, Titfortat, Elastic0.1, Elastic0.5): the baselines fall
 // behind Ostrich and the proposed schemes lead.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace itrim;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  bench::BenchReporter reporter("fig7_svm", flags);
   SvmExperimentConfig config;
   config.repetitions = bench::EnvInt("ITRIM_BENCH_REPS", 3);
-  config.threads = bench::Jobs(argc, argv);
+  config.threads = flags.jobs;
   PrintBanner(std::cout,
               "Fig 7: SVM accuracy, Control, Tth=0.95, attack ratio=0.4");
+  auto run_start = std::chrono::steady_clock::now();
   auto result = RunSvmExperiment(config);
+  const double run_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - run_start)
+                            .count();
   if (!result.ok()) {
     std::cerr << "ERROR: " << result.status().ToString() << "\n";
     return 1;
   }
+  for (const auto& s : result->schemes) {
+    reporter.AddCase(s.scheme).Counter("accuracy", s.accuracy).Ok();
+  }
+  reporter.AddCase("experiment")
+      .Iterations(static_cast<uint64_t>(config.repetitions))
+      .Ops(static_cast<uint64_t>(result->schemes.size()) *
+           static_cast<uint64_t>(config.repetitions))
+      .WallMs(run_ms)
+      .Counter("groundtruth_accuracy", result->groundtruth_accuracy);
   std::printf("groundtruth accuracy: %.1f%%  (paper: 96.8%%)\n",
               100.0 * result->groundtruth_accuracy);
 
@@ -50,5 +68,5 @@ int main(int argc, char** argv) {
     for (double v : s.class_ppv) ppv.AddNumber(100.0 * v, 1);
   }
   ppv.Print(std::cout);
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

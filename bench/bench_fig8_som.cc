@@ -4,27 +4,48 @@
 // the isolated points, Baselinestatic over-represents poison, while
 // Titfortat/Elastic preserve the green class at the cost of an isolated
 // point. We print the class-structure metrics that encode those readings.
+#include <chrono>
 #include <iostream>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace itrim;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  bench::BenchReporter reporter("fig8_som", flags);
   SomExperimentConfig config;
   config.dataset_size =
       static_cast<size_t>(4000 * bench::EnvScale("ITRIM_BENCH_SCALE", 1.0));
-  config.threads = bench::Jobs(argc, argv);
+  config.threads = flags.jobs;
   PrintBanner(std::cout,
               "Fig 8: SOM structure preservation, Creditcard, Tth=0.95, "
               "attack ratio=0.4");
+  auto run_start = std::chrono::steady_clock::now();
   auto result = RunSomExperiment(config);
+  const double run_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - run_start)
+                            .count();
   if (!result.ok()) {
     std::cerr << "ERROR: " << result.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "groundtruth: classes represented=" << result->groundtruth_classes
+  for (const auto& s : result->schemes) {
+    reporter.AddCase(s.scheme)
+        .Counter("classes_represented", s.classes_represented)
+        .Counter("quantization_error", s.quantization_error)
+        .Ok();
+  }
+  reporter.AddCase("experiment")
+      .Iterations(1)
+      .Ops(result->schemes.size())
+      .WallMs(run_ms)
+      .Counter("dataset_size", static_cast<double>(config.dataset_size));
+  std::cout << "groundtruth: classes represented="
+            << result->groundtruth_classes
             << "/4, quantization error=" << result->groundtruth_qe << "\n";
   TablePrinter table({"scheme", "classes(4)", "green", "fraud", "premium",
                       "quant.err", "poison kept"});
@@ -51,5 +72,5 @@ int main(int argc, char** argv) {
                "outliers. The paper's qualitative finding is that the "
                "proposed schemes keep the green class visible while "
                "baselines lose it to poison mass or over-trimming.\n";
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

@@ -6,22 +6,28 @@
 // MSE grows with the attack ratio; small epsilon (heavy perturbation) shows
 // an inflection near eps ~ 1.5 where trimming overhead from false positives
 // kicks in, most visible at small attack ratios.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace itrim;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  bench::BenchReporter reporter("fig9_ldp", flags);
   const int reps = bench::EnvInt("ITRIM_BENCH_REPS", 3);
-  const int jobs = bench::Jobs(argc, argv);
+  const int jobs = flags.jobs;
   const std::vector<double> epsilons = {1.0, 1.5, 2.0, 2.5, 3.0,
                                         3.5, 4.0, 4.5, 5.0};
   const std::vector<double> ratios = {0.05, 0.1, 0.15, 0.2, 0.25,
                                       0.3,  0.35, 0.4, 0.45};
   for (double ratio : ratios) {
+    auto cell_start = std::chrono::steady_clock::now();
     LdpExperimentConfig config;
     config.epsilons = epsilons;
     config.attack_ratio = ratio;
@@ -52,6 +58,16 @@ int main(int argc, char** argv) {
       for (double mse : series.mse) table.AddNumber(mse, 5);
     }
     table.Print(std::cout);
+    char case_name[32];
+    std::snprintf(case_name, sizeof(case_name), "ratio=%.2f", ratio);
+    const uint64_t arms = static_cast<uint64_t>(result->series.size()) *
+                          epsilons.size() * static_cast<uint64_t>(reps);
+    reporter.AddCase(case_name)
+        .Iterations(static_cast<uint64_t>(reps))
+        .Ops(arms)
+        .WallMs(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - cell_start)
+                    .count());
   }
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

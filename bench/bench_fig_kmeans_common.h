@@ -3,21 +3,28 @@
 #ifndef ITRIM_BENCH_BENCH_FIG_KMEANS_COMMON_H_
 #define ITRIM_BENCH_BENCH_FIG_KMEANS_COMMON_H_
 
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
 namespace itrim::bench {
 
 /// \brief Runs the three dataset panels x three attack-ratio bands of
-/// Fig 4/5 at the given threshold and prints one table per panel. `jobs`
-/// fans the (scheme, ratio, repetition) arms across threads (0 = default).
-inline int RunKmeansFigure(const std::string& figure, double tth,
-                           int jobs = 0) {
+/// Fig 4/5 at the given threshold and prints one table per panel, writing
+/// one BENCH_<report_name>.json case per (panel, band) cell. `jobs` fans
+/// the (scheme, ratio, repetition) arms across threads (0 = default).
+inline int RunKmeansFigure(const std::string& figure,
+                           const std::string& report_name, double tth,
+                           const BenchFlags& flags) {
+  const int jobs = flags.jobs;
+  BenchReporter reporter(report_name, flags);
   const int reps = EnvInt("ITRIM_BENCH_REPS", 3);
   const struct Band {
     const char* name;
@@ -41,6 +48,7 @@ inline int RunKmeansFigure(const std::string& figure, double tth,
             << "paper's averaging)\n";
   for (const auto& panel : panels) {
     for (const auto& band : bands) {
+      auto cell_start = std::chrono::steady_clock::now();
       KmeansExperimentConfig config;
       config.dataset = panel.dataset;
       config.dataset_scale = panel.scale;
@@ -76,9 +84,21 @@ inline int RunKmeansFigure(const std::string& figure, double tth,
         for (const auto& p : series.points) table.AddNumber(p.distance, 3);
       }
       table.Print(std::cout);
+      // One experiment arm = (scheme, ratio, repetition); the cell fanned
+      // result->series.size() schemes over the band's ratios x reps.
+      const uint64_t arms = static_cast<uint64_t>(result->series.size()) *
+                            band.ratios.size() *
+                            static_cast<uint64_t>(reps);
+      reporter.AddCase(std::string(panel.dataset) + band.name)
+          .Iterations(1)
+          .Ops(arms)
+          .WallMs(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - cell_start)
+                      .count())
+          .Counter("groundtruth_sse", result->groundtruth_sse);
     }
   }
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }
 
 }  // namespace itrim::bench

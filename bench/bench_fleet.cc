@@ -15,6 +15,12 @@
 // registered with ctest as bench/bench_fleet_smoke. Knobs:
 // ITRIM_BENCH_TENANTS, ITRIM_BENCH_ROUNDS, --jobs N (caps the thread
 // column of the full table).
+//
+// Telemetry: every run writes BENCH_fleet.json (bench/reporter.h). The
+// 1-thread steady-state timing case carries the heap-allocation count of
+// its timed region; the CI perf gate (tools/bench_gate.py) holds both that
+// count at zero and the tenant-round throughput against
+// bench/baselines/BENCH_fleet.json.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -22,14 +28,16 @@
 #include <string>
 #include <vector>
 
+#include "bench/alloc_counter.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/rng.h"
 #include "data/generators.h"
 #include "exp/schemes.h"
 #include "fleet/session_fleet.h"
 #include "ldp/attacks.h"
 #include "ldp/mechanism.h"
-
-#include "bench_util.h"
 
 namespace itrim {
 namespace {
@@ -205,18 +213,32 @@ int RunDeterminism(FleetFixture* fixture, size_t tenants, int rounds,
 struct Cell {
   double wall_ms = 0.0;
   double tenant_rounds_per_sec = 0.0;
+  uint64_t allocations = 0;  ///< heap traffic of the timed region
 };
 
+// Times `rounds` StepRounds after a few un-timed warmup rounds (the warmup
+// is where scratch buffers reach steady-state capacity — the fractional
+// poison quota only hits its per-tenant maximum on the second round; at 1
+// thread the timed region is then allocation-free, which the JSON records
+// and the CI gate asserts).
 Cell TimeFleet(FleetFixture* fixture, size_t tenants, int rounds,
                int threads) {
-  SessionFleet fleet(MakeConfig(rounds, threads), fixture->BuildSpecs(tenants));
+  const int warmup_rounds = 3;
+  SessionFleet fleet(MakeConfig(rounds + warmup_rounds, threads),
+                     fixture->BuildSpecs(tenants));
   Cell cell;
   if (!fleet.Bootstrap().ok()) return cell;
+  for (int r = 0; r < warmup_rounds; ++r) {
+    if (!fleet.StepRound().ok()) return cell;
+  }
+  bench::AllocCounts before = bench::ThreadAllocCounts();
   auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < rounds; ++r) {
     if (!fleet.StepRound().ok()) return cell;
   }
   auto stop = std::chrono::steady_clock::now();
+  cell.allocations =
+      (bench::ThreadAllocCounts() - before).allocations;
   cell.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
   cell.tenant_rounds_per_sec =
@@ -229,26 +251,57 @@ Cell TimeFleet(FleetFixture* fixture, size_t tenants, int rounds,
 
 int main(int argc, char** argv) {
   using namespace itrim;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
-  const int jobs_flag = bench::Jobs(argc, argv);
-  const int max_threads = jobs_flag > 0 ? jobs_flag : 4;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const bool smoke = flags.smoke;
+  const int max_threads = flags.jobs > 0 ? flags.jobs : 4;
   const size_t tenants = static_cast<size_t>(
       bench::EnvInt("ITRIM_BENCH_TENANTS", 1000));
   const int rounds = bench::EnvInt("ITRIM_BENCH_ROUNDS", smoke ? 4 : 8);
 
+  bench::BenchReporter reporter("fleet", flags);
   FleetFixture fixture;
   if (RunDeterminism(&fixture, tenants, rounds, max_threads) != 0) return 1;
+  reporter.AddCase("determinism/1_vs_n_threads").Ok();
+  reporter.AddCase("determinism/checkpoint_restore").Ok();
+
+  // Per-thread-count case names are stable across machines so the gate and
+  // the nightly trend can key on them; the 1-thread case is the
+  // steady-state contract carrier (throughput + zero allocations).
+  auto record_cell = [&](size_t n, int threads, const Cell& cell) {
+    const uint64_t ops = static_cast<uint64_t>(n) *
+                         static_cast<uint64_t>(rounds);
+    reporter
+        .AddCase("steprounds/" + std::to_string(n) + "t/" +
+                 std::to_string(threads) + "thr")
+        .Iterations(static_cast<uint64_t>(rounds))
+        .Ops(ops)
+        .WallMs(cell.wall_ms)
+        .Allocations(cell.allocations)
+        .Counter("tenants", static_cast<double>(n))
+        .Counter("threads", static_cast<double>(threads))
+        .Counter("tenant_rounds_per_sec", cell.tenant_rounds_per_sec);
+  };
 
   if (smoke) {
-    Cell cell = TimeFleet(&fixture, tenants, rounds, max_threads);
-    std::printf("smoke timing: %zu tenants x %d rounds, %d threads: "
-                "%.1f ms (%.0f tenant-rounds/s)\n",
-                tenants, rounds, max_threads, cell.wall_ms,
-                cell.tenant_rounds_per_sec);
-    return 0;
+    // Thread-local allocation counting only sees the calling thread, so
+    // the zero-allocation claim is measured where it is defined: the
+    // serial fast path.
+    Cell serial = TimeFleet(&fixture, tenants, rounds, 1);
+    record_cell(tenants, 1, serial);
+    std::printf("smoke timing: %zu tenants x %d rounds, 1 thread: "
+                "%.1f ms (%.0f tenant-rounds/s, %llu allocs)\n",
+                tenants, rounds, serial.wall_ms,
+                serial.tenant_rounds_per_sec,
+                static_cast<unsigned long long>(serial.allocations));
+    if (max_threads > 1) {
+      Cell cell = TimeFleet(&fixture, tenants, rounds, max_threads);
+      record_cell(tenants, max_threads, cell);
+      std::printf("smoke timing: %zu tenants x %d rounds, %d threads: "
+                  "%.1f ms (%.0f tenant-rounds/s)\n",
+                  tenants, rounds, max_threads, cell.wall_ms,
+                  cell.tenant_rounds_per_sec);
+    }
+    return reporter.WriteJson().ok() ? 0 : 1;
   }
 
   std::printf("\nscaling (wall ms for %d lockstep rounds; "
@@ -262,10 +315,11 @@ int main(int argc, char** argv) {
     std::printf("%10zu", n);
     for (int t = 1; t <= max_threads; t *= 2) {
       Cell cell = TimeFleet(&fixture, n, rounds, t);
+      record_cell(n, t, cell);
       std::printf("  %7.0fms (%.0fk/s)", cell.wall_ms,
                   cell.tenant_rounds_per_sec / 1000.0);
     }
     std::printf("\n");
   }
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

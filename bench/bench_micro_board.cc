@@ -25,7 +25,9 @@
 #include "game/public_board.h"
 #include "stats/quantile.h"
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 
 namespace itrim {
 namespace {
@@ -182,17 +184,17 @@ Timing TimeInterleaved(Board* board, size_t prefill, size_t iterations) {
 
 int main(int argc, char** argv) {
   using namespace itrim;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
-  const size_t exact_ops =
-      static_cast<size_t>(bench::EnvInt("ITRIM_BENCH_OPS", smoke ? 4000 : 20000));
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  bench::BenchReporter reporter("micro_board", flags);
+  const bool smoke = flags.smoke;
+  const size_t exact_ops = static_cast<size_t>(
+      bench::EnvInt("ITRIM_BENCH_OPS", smoke ? 4000 : 20000));
   if (RunExactness(exact_ops) != 0) return 1;
+  reporter.AddCase("exactness_vs_sorted_oracle").Ok();
 
   const size_t board_size = smoke ? 20000 : 100000;
-  const size_t iterations =
-      static_cast<size_t>(bench::EnvInt("ITRIM_BENCH_QUERIES", smoke ? 20 : 60));
+  const size_t iterations = static_cast<size_t>(
+      bench::EnvInt("ITRIM_BENCH_QUERIES", smoke ? 20 : 60));
 
   PublicBoard indexed(/*capacity=*/0, /*seed=*/1);
   LegacySortBoard legacy(/*capacity=*/0, /*seed=*/1);
@@ -212,11 +214,23 @@ int main(int argc, char** argv) {
   std::printf("  %-28s %10.3f us/query\n", "IndexedBoard backend:",
               ti.per_query_us);
   std::printf("  speedup: %.1fx\n", speedup);
+  const uint64_t queries = static_cast<uint64_t>(2 * iterations);
+  reporter.AddCase("indexed_interleaved")
+      .Iterations(static_cast<uint64_t>(iterations))
+      .Ops(queries)
+      .WallMs(ti.per_query_us * static_cast<double>(queries) / 1e3)
+      .Counter("board_size", static_cast<double>(board_size));
+  reporter.AddCase("legacy_interleaved")
+      .Iterations(static_cast<uint64_t>(iterations))
+      .Ops(queries)
+      .WallMs(tl.per_query_us * static_cast<double>(queries) / 1e3)
+      .Counter("board_size", static_cast<double>(board_size))
+      .Counter("indexed_speedup", speedup);
   if (!smoke && speedup < 10.0) {
     std::fprintf(stderr, "FAIL: expected >= 10x per-query speedup at board "
                          "size %zu, got %.1fx\n",
                  board_size, speedup);
     return 1;
   }
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

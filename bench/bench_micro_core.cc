@@ -2,6 +2,8 @@
 // trimming, the public board, and the collection-game round loop.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_bridge.h"
+
 #include "common/rng.h"
 #include "game/collection_game.h"
 #include "game/public_board.h"
@@ -108,4 +110,6 @@ BENCHMARK(BM_KMeans)->Range(1 << 8, 1 << 12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return itrim::bench::RunGoogleBenchmarks("micro_core", argc, argv);
+}

@@ -2,6 +2,8 @@
 // and the EM filter fit.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_bridge.h"
+
 #include "common/rng.h"
 #include "ldp/attacks.h"
 #include "ldp/emf.h"
@@ -58,4 +60,6 @@ BENCHMARK(BM_EmfFit)->Range(1 << 10, 1 << 15);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return itrim::bench::RunGoogleBenchmarks("micro_ldp", argc, argv);
+}

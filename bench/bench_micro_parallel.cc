@@ -10,7 +10,10 @@
 #include <iostream>
 #include <vector>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/measure.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "data/generators.h"
@@ -20,10 +23,12 @@
 
 int main(int argc, char** argv) {
   using namespace itrim;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  bench::BenchReporter reporter("micro_parallel", flags);
   // Clamp both knobs: a negative ITRIM_BENCH_ARMS must not wrap through
   // size_t into a gigantic allocation, and a huge --jobs must not overflow
   // the 4*max_jobs default or the doubling widths loop.
-  const int max_jobs_arg = bench::Jobs(argc, argv);
+  const int max_jobs_arg = flags.jobs;
   const int max_jobs = std::clamp(
       max_jobs_arg > 0 ? max_jobs_arg : DefaultNumThreads(), 1, 4096);
   const int arms =
@@ -69,14 +74,21 @@ int main(int argc, char** argv) {
   double base_ms = 0.0;
   double base_checksum = 0.0;
   bool deterministic = true;
+  // Shared measurement discipline (src/bench/measure.h): each width can be
+  // deepened to best-of-N via ITRIM_BENCH_REPETITIONS without a rebuild;
+  // the default single pass keeps the smoke shape as cheap as before.
+  bench::MeasureOptions measure_opts;
+  measure_opts.warmup_iters = 0;
+  measure_opts.min_iters = 1;
+  measure_opts.min_time_ms = 0.0;
+  measure_opts.repetitions = bench::EnvInt("ITRIM_BENCH_REPETITIONS", 1);
   for (int jobs : widths) {
     std::vector<double> sse(static_cast<size_t>(arms), 0.0);
-    auto start = std::chrono::steady_clock::now();
-    ParallelFor(
-        sse.size(), [&](size_t arm) { sse[arm] = run_arm(arm); }, jobs);
-    auto end = std::chrono::steady_clock::now();
-    double ms =
-        std::chrono::duration<double, std::milli>(end - start).count();
+    bench::Measurement m = bench::MeasureLoop(measure_opts, [&] {
+      ParallelFor(
+          sse.size(), [&](size_t arm) { sse[arm] = run_arm(arm); }, jobs);
+    });
+    double ms = m.wall_ms / static_cast<double>(m.iterations);
     // Ordered reduction, exactly like the experiment runners.
     double checksum = 0.0;
     for (double s : sse) checksum += s;
@@ -92,6 +104,11 @@ int main(int argc, char** argv) {
     table.AddNumber(base_ms > 0.0 ? base_ms / ms : 1.0, 2);
     table.AddNumber(base_ms > 0.0 ? base_ms / ms / jobs : 1.0, 2);
     table.AddNumber(checksum, 3);
+    reporter.AddCase("arms/" + std::to_string(jobs) + "jobs")
+        .Iterations(static_cast<uint64_t>(arms))
+        .Ops(static_cast<uint64_t>(arms))
+        .WallMs(ms)
+        .Counter("speedup_vs_1thr", base_ms > 0.0 ? base_ms / ms : 1.0);
   }
   table.Print(std::cout);
   if (!deterministic) {
@@ -99,7 +116,8 @@ int main(int argc, char** argv) {
                  "reduction contract is broken\n";
     return 1;
   }
+  reporter.AddCase("determinism/checksum_all_widths").Ok();
   std::cout << "\nchecksums identical at every width: the fan-out is "
                "bit-deterministic; only wall-clock changes with --jobs.\n";
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

@@ -7,12 +7,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "game/equilibrium.h"
 #include "game/payoff.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
+  bench::BenchReporter reporter("table1_ultimatum",
+                                bench::ParseFlags(argc, argv));
   PayoffParams params;  // P-bar=10, T-bar=6, P=1, T=0.5
   UltimatumGame game(params);
 
@@ -60,5 +64,11 @@ int main() {
     }
   }
   boundary.Print(std::cout);
-  return 0;
+  reporter.AddCase("payoff_matrix")
+      .Counter("ordering_ok", params.Validate().ok() ? 1.0 : 0.0)
+      .Counter("prisoners_dilemma",
+               game.HasPrisonersDilemmaStructure() ? 1.0 : 0.0)
+      .Counter("g_ac", game.SymmetricCooperationGain())
+      .Ok();
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

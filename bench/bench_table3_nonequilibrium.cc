@@ -6,28 +6,42 @@
 // estimated defect ratio exceeds (1-p) + 0.05, after which it trims at the
 // 90th percentile permanently. Reported: the untrimmed-poison proportion of
 // Titfortat and Elastic, and Titfortat's average termination round.
+#include <chrono>
 #include <iostream>
 
-#include "bench_util.h"
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace itrim;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  bench::BenchReporter reporter("table3_nonequilibrium", flags);
   NonEquilibriumConfig config;
   config.repetitions = bench::EnvInt("ITRIM_BENCH_REPS", 25);
-  config.threads = bench::Jobs(argc, argv);
+  config.threads = flags.jobs;
   std::vector<double> ps;
   for (int i = 0; i <= 10; ++i) ps.push_back(0.1 * i);
 
   PrintBanner(std::cout,
               "Table III: non-equilibrium mixed strategies (Control, attack "
               "ratio 0.2, redundancy 5%)");
+  auto run_start = std::chrono::steady_clock::now();
   auto rows = RunNonEquilibriumExperiment(config, ps);
+  const double run_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - run_start)
+                            .count();
   if (!rows.ok()) {
     std::cerr << "ERROR: " << rows.status().ToString() << "\n";
     return 1;
   }
+  reporter.AddCase("experiment")
+      .Iterations(static_cast<uint64_t>(config.repetitions))
+      .Ops(static_cast<uint64_t>(ps.size()) *
+           static_cast<uint64_t>(config.repetitions))
+      .WallMs(run_ms);
   TablePrinter table({"p", "Avg termination rounds", "Titfortat", "Elastic",
                       "paper:term", "paper:tft", "paper:elastic"});
   const char* paper_term[] = {"25",    "24.24", "21.56", "23.44",
@@ -54,5 +68,5 @@ int main(int argc, char** argv) {
   std::cout << "\nshape checks: termination falls as p -> 1; Elastic's "
                "untrimmed poison decreases monotonically in p; an adversary "
                "deviating from equilibrium play gains no advantage.\n";
-  return 0;
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

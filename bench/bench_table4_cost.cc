@@ -13,11 +13,15 @@
 // from the stated recurrence next to the paper's printed values.
 #include <iostream>
 
+#include "bench/flags.h"
+#include "bench/reporter.h"
 #include "common/table_printer.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itrim;
+  bench::BenchReporter reporter("table4_cost",
+                                bench::ParseFlags(argc, argv));
   PrintBanner(std::cout, "Table IV: roundwise cost of the Elastic scheme");
   for (double k : {0.1, 0.5}) {
     ElasticTrace trace = TraceElasticDynamics(k, 5);
@@ -45,5 +49,9 @@ int main() {
   table.Print(std::cout);
   std::cout << "\nshape checks: cost ~ 1/Round_no for both k; cumulative "
                "cost converges to a constant per k.\n";
-  return 0;
+  reporter.AddCase("roundwise_cost")
+      .Counter("cost_k05_at_20", ElasticRoundwiseCost(0.5, 20))
+      .Counter("cost_k01_at_20", ElasticRoundwiseCost(0.1, 20))
+      .Ok();
+  return reporter.WriteJson().ok() ? 0 : 1;
 }

@@ -1,0 +1,118 @@
+#include "bench/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace itrim::bench {
+namespace {
+
+thread_local AllocCounts t_counts;
+
+void* CountedAlloc(std::size_t size) {
+  ++t_counts.allocations;
+  t_counts.bytes += size;
+  // malloc(0) may return null legitimately; operator new must not.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  ++t_counts.allocations;
+  t_counts.bytes += size;
+  void* p = nullptr;
+  // posix_memalign (unlike aligned_alloc) accepts any size; alignment must
+  // be a power of two >= sizeof(void*), which align_val_t guarantees only
+  // partially — round small alignments up.
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  if (posix_memalign(&p, alignment, size == 0 ? 1 : size) != 0) return nullptr;
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  ++t_counts.deallocations;
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounts ThreadAllocCounts() { return t_counts; }
+
+}  // namespace itrim::bench
+
+// Global operator new/delete replacements ([new.delete.single] allows a
+// program to define these); every allocation in a binary linking this TU is
+// counted. Kept outside any namespace by requirement.
+
+void* operator new(std::size_t size) {
+  void* p = itrim::bench::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = itrim::bench::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return itrim::bench::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return itrim::bench::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = itrim::bench::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = itrim::bench::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return itrim::bench::CountedAlignedAlloc(size,
+                                           static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return itrim::bench::CountedAlignedAlloc(size,
+                                           static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { itrim::bench::CountedFree(p); }
+void operator delete[](void* p) noexcept { itrim::bench::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  itrim::bench::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  itrim::bench::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  itrim::bench::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  itrim::bench::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  itrim::bench::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  itrim::bench::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  itrim::bench::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  itrim::bench::CountedFree(p);
+}

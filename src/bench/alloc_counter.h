@@ -1,0 +1,45 @@
+// Heap-allocation counting for benches and allocation-regression tests.
+//
+// Linking this translation unit (it is part of the itrim_bench library)
+// replaces the global operator new/delete with counting forwarders to
+// malloc/free. The counters are thread-local, so a test can bracket a
+// region of its own thread and assert on exactly the allocations that
+// region performed — concurrent pool workers never pollute the reading.
+//
+// This is how the zero-allocation contract of the streaming round hot path
+// is *tested* rather than assumed: tests/game/zero_alloc_test.cc warms a
+// session up, snapshots the counters, steps N more rounds and asserts the
+// delta is zero; the bench binaries report the same counters per measured
+// case into BENCH_<name>.json so the CI perf gate can hold the line.
+//
+// The forwarders add one thread-local increment per new/delete — far below
+// malloc's own cost — and compose with ASan (whose malloc interceptor
+// still sees every byte; our definitions simply win symbol resolution for
+// the operator new family).
+#ifndef ITRIM_BENCH_ALLOC_COUNTER_H_
+#define ITRIM_BENCH_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace itrim::bench {
+
+/// \brief Monotonic counters of the calling thread's heap traffic since
+/// thread start.
+struct AllocCounts {
+  uint64_t allocations = 0;    ///< operator new / new[] calls
+  uint64_t deallocations = 0;  ///< operator delete / delete[] calls
+  uint64_t bytes = 0;          ///< total bytes requested through new
+
+  AllocCounts operator-(const AllocCounts& other) const {
+    return {allocations - other.allocations,
+            deallocations - other.deallocations, bytes - other.bytes};
+  }
+};
+
+/// \brief Snapshot of the calling thread's counters (subtract two
+/// snapshots to count a region).
+AllocCounts ThreadAllocCounts();
+
+}  // namespace itrim::bench
+
+#endif  // ITRIM_BENCH_ALLOC_COUNTER_H_

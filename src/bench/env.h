@@ -1,0 +1,41 @@
+// Environment knobs shared by the bench binaries.
+//
+// Benches are sized through ITRIM_BENCH_* environment variables so one
+// binary serves three regimes: the ctest --smoke entry, the PR-leg smoke
+// perf gate, and the nightly full grid (which raises the knobs well past
+// what a PR leg could afford). See src/bench/flags.h for the command-line
+// side and README.md ("Benchmarking & perf telemetry") for the map.
+#ifndef ITRIM_BENCH_ENV_H_
+#define ITRIM_BENCH_ENV_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace itrim::bench {
+
+/// \brief Integer knob from the environment with a default (e.g. repetition
+/// counts: ITRIM_BENCH_REPS=100 reproduces the paper's averaging).
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+/// \brief Scale knob in (0, 1] from the environment.
+inline double EnvScale(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  double v = std::atof(value);
+  return v > 0.0 && v <= 1.0 ? v : fallback;
+}
+
+/// \brief String knob from the environment with a default.
+inline std::string EnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+}  // namespace itrim::bench
+
+#endif  // ITRIM_BENCH_ENV_H_

@@ -1,0 +1,39 @@
+#include "bench/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace itrim::bench {
+
+BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  flags.argv.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) flags.argv.emplace_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      flags.smoke = true;
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      int n = std::atoi(arg + 7);
+      if (n > 0) flags.jobs = n;
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[i + 1]);
+      if (n > 0) {
+        flags.jobs = n;
+        ++i;
+      }
+    }
+  }
+  return flags;
+}
+
+int EffectiveJobs(const BenchFlags& flags) {
+  if (flags.jobs > 0) return flags.jobs;
+  // DefaultNumThreads owns the ITRIM_THREADS-then-hardware tail of the
+  // precedence chain; benches and library share one resolution.
+  return DefaultNumThreads();
+}
+
+}  // namespace itrim::bench

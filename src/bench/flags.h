@@ -1,0 +1,48 @@
+// Command-line flags shared by every bench binary.
+//
+// Before this library each bench main hand-parsed `--jobs` and `--smoke`;
+// the copies had started to drift (some accepted only `--jobs=N`, some only
+// the two-token form). ParseFlags is the one implementation, and
+// EffectiveJobs pins the precedence contract down in one place:
+//
+//   --jobs N / --jobs=N  >  ITRIM_THREADS  >  hardware concurrency
+//
+// (tests/bench/bench_flags_test.cc is the regression test for that order).
+// Thread count never changes results anywhere in the library — only
+// wall-clock (see common/thread_pool.h) — so the flags feed timing and the
+// JSON context, not correctness.
+#ifndef ITRIM_BENCH_FLAGS_H_
+#define ITRIM_BENCH_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+namespace itrim::bench {
+
+/// \brief Parsed command line of a bench binary.
+struct BenchFlags {
+  /// True when `--smoke` is present: run the correctness gate plus a
+  /// scaled-down timing pass (the shape ctest and the CI perf gate run).
+  bool smoke = false;
+  /// Value of `--jobs N` / `--jobs=N`; 0 when absent (meaning: defer to
+  /// ITRIM_THREADS, then hardware concurrency).
+  int jobs = 0;
+  /// The raw argv (argv[0] included), captured for the JSON context.
+  std::vector<std::string> argv;
+};
+
+/// \brief Parses the shared bench flags; unknown arguments are ignored so
+/// binaries can layer their own on top.
+BenchFlags ParseFlags(int argc, char** argv);
+
+/// \brief Resolves the flag/environment/hardware precedence into the
+/// thread count a bench should report and use: `flags.jobs` when the flag
+/// was given, else ITRIM_THREADS when set to a positive integer, else the
+/// hardware concurrency (never less than 1). Config structs whose
+/// `threads = 0` already means "resolve downstream" take `flags.jobs`
+/// verbatim instead.
+int EffectiveJobs(const BenchFlags& flags);
+
+}  // namespace itrim::bench
+
+#endif  // ITRIM_BENCH_FLAGS_H_

@@ -1,0 +1,87 @@
+// Bridges google-benchmark harnesses into the BENCH_<name>.json telemetry.
+//
+// bench_micro_core / bench_micro_ldp are BENCHMARK()-registered suites; the
+// other benches write their JSON through BenchReporter directly. This
+// header gives the gbench binaries the same contract without forking their
+// benchmarks: RunGoogleBenchmarks() runs the suite with the normal console
+// output and mirrors every finished run into a BenchReporter case
+// (real time, iterations, items/s when the benchmark sets items
+// processed), then writes BENCH_<name>.json.
+//
+// Header-only and included ONLY by the gbench translation units, so the
+// itrim_bench library itself never links against google-benchmark (which
+// is optional — those binaries are skipped when the package is missing).
+#ifndef ITRIM_BENCH_GBENCH_BRIDGE_H_
+#define ITRIM_BENCH_GBENCH_BRIDGE_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/reporter.h"
+
+namespace itrim::bench {
+
+/// \brief ConsoleReporter that also records every run into a BenchReporter.
+class GBenchBridgeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit GBenchBridgeReporter(BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (RunFailed(run) || run.run_type != Run::RT_Iteration) continue;
+      BenchCase& c = out_->AddCase(run.benchmark_name());
+      c.Iterations(static_cast<uint64_t>(run.iterations));
+      // real_accumulated_time is the measured loop's total wall seconds —
+      // exactly the shared schema's wall_ms numerator.
+      c.WallMs(run.real_accumulated_time * 1e3);
+      c.Ops(static_cast<uint64_t>(run.iterations));
+      for (const auto& [key, counter] : run.counters) {
+        c.Counter(key, counter.value);
+      }
+      c.Counter("cpu_ms", run.cpu_accumulated_time * 1e3);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  // benchmark <= 1.7 exposes Run::error_occurred; 1.8+ replaced it with
+  // skipped(). Probe with a requires-expression so the bridge compiles
+  // against both (the dev container has 1.7.1, ubuntu-latest 24.04 ships
+  // 1.8.x).
+  template <typename R>
+  static bool RunFailed(const R& run) {
+    if constexpr (requires { run.error_occurred; }) {
+      return run.error_occurred;
+    } else if constexpr (requires { static_cast<bool>(run.skipped); }) {
+      return static_cast<bool>(run.skipped);
+    } else {
+      return false;
+    }
+  }
+
+  BenchReporter* out_;
+};
+
+/// \brief Drop-in BENCHMARK_MAIN() body with JSON telemetry.
+inline int RunGoogleBenchmarks(const std::string& name, int argc,
+                               char** argv) {
+  BenchReporter reporter(name, argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  GBenchBridgeReporter bridge(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&bridge);
+  benchmark::Shutdown();
+  Status status = reporter.WriteJson();
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace itrim::bench
+
+#endif  // ITRIM_BENCH_GBENCH_BRIDGE_H_

@@ -1,0 +1,70 @@
+#include "bench/measure.h"
+
+#include <chrono>
+
+#include "bench/env.h"
+
+namespace itrim::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  double v = std::atof(value);
+  return v >= 0.0 ? v : fallback;
+}
+
+}  // namespace
+
+MeasureOptions MeasureOptions::FromEnv() {
+  MeasureOptions options;
+  options.warmup_iters = EnvInt("ITRIM_BENCH_WARMUP", options.warmup_iters);
+  options.min_iters = EnvInt("ITRIM_BENCH_MIN_ITERS", options.min_iters);
+  options.min_time_ms =
+      EnvDouble("ITRIM_BENCH_MIN_TIME_MS", options.min_time_ms);
+  options.repetitions =
+      EnvInt("ITRIM_BENCH_REPETITIONS", options.repetitions);
+  return options;
+}
+
+MeasureOptions MeasureOptions::Smoke() {
+  MeasureOptions options;
+  options.warmup_iters = 1;
+  options.min_iters = 1;
+  options.min_time_ms = 10.0;
+  options.repetitions = 1;
+  return options;
+}
+
+Measurement MeasureLoop(const MeasureOptions& options,
+                        const std::function<void()>& body) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < options.warmup_iters; ++i) body();
+
+  Measurement best;
+  const int repetitions = options.repetitions < 1 ? 1 : options.repetitions;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Measurement m;
+    AllocCounts before = ThreadAllocCounts();
+    Clock::time_point start = Clock::now();
+    do {
+      body();
+      ++m.iterations;
+      m.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            start)
+                      .count();
+    } while (m.iterations < static_cast<uint64_t>(options.min_iters) ||
+             m.wall_ms < options.min_time_ms);
+    m.allocs = ThreadAllocCounts() - before;
+    // Best = highest throughput (lowest time per iteration).
+    if (best.iterations == 0 ||
+        m.wall_ms * static_cast<double>(best.iterations) <
+            best.wall_ms * static_cast<double>(m.iterations)) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace itrim::bench

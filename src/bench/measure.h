@@ -1,0 +1,55 @@
+// Warmup / min-time / repetition control for measured bench cases.
+//
+// One shared loop discipline for benches whose timed body is re-runnable
+// (bench_micro_parallel, BenchReporter::MeasureCase): run the body a few
+// warmup iterations (populating caches, scratch capacity and the branch
+// predictor — exactly the steady state the zero-allocation contract is
+// defined over), then keep iterating until both a minimum iteration count
+// and a minimum wall time are met. Repetitions re-run the whole
+// measurement and keep the best throughput (the standard noise floor
+// estimator on shared machines). Benches that time a stateful
+// non-repeatable phase (a fleet stream, an interleaved board workload)
+// keep their own single-shot timers and feed the reporter directly.
+#ifndef ITRIM_BENCH_MEASURE_H_
+#define ITRIM_BENCH_MEASURE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "bench/alloc_counter.h"
+
+namespace itrim::bench {
+
+/// \brief Knobs of one measurement; FromEnv() reads the ITRIM_BENCH_*
+/// overrides so the nightly grid can deepen them without a rebuild.
+struct MeasureOptions {
+  int warmup_iters = 2;      ///< un-timed body runs before measuring
+  int min_iters = 3;         ///< timed loop floor
+  double min_time_ms = 50.0; ///< timed loop runs until this much wall time
+  int repetitions = 1;       ///< measurements taken; best throughput wins
+
+  /// \brief Defaults overridden by ITRIM_BENCH_WARMUP, ITRIM_BENCH_MIN_ITERS,
+  /// ITRIM_BENCH_MIN_TIME_MS and ITRIM_BENCH_REPETITIONS.
+  static MeasureOptions FromEnv();
+
+  /// \brief Smoke preset: one warmup, one repetition, 10 ms floor — the
+  /// shape the ctest entries and the CI perf gate can afford.
+  static MeasureOptions Smoke();
+};
+
+/// \brief Result of one measured case.
+struct Measurement {
+  uint64_t iterations = 0;  ///< body runs inside the best repetition
+  double wall_ms = 0.0;     ///< wall time of the best repetition
+  /// Heap traffic of the best repetition's timed region (calling thread).
+  AllocCounts allocs;
+};
+
+/// \brief Runs `body` under the given discipline and returns the best
+/// repetition. The body should perform one unit of work per call.
+Measurement MeasureLoop(const MeasureOptions& options,
+                        const std::function<void()>& body);
+
+}  // namespace itrim::bench
+
+#endif  // ITRIM_BENCH_MEASURE_H_

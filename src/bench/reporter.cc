@@ -1,0 +1,197 @@
+#include "bench/reporter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include "bench/env.h"
+#include "common/thread_pool.h"
+
+// The environment block (POSIX); used to capture every ITRIM_* knob so a
+// JSON report is self-describing about how the bench was sized.
+extern char** environ;
+
+namespace itrim::bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[40];
+  // %.17g round-trips doubles; trim to a plain integer rendering when exact.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string UtcTimestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc;
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+const char* BuildType() {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+}  // namespace
+
+BenchCase& BenchCase::From(const Measurement& m, uint64_t ops_per_iter) {
+  iterations = m.iterations;
+  ops = m.iterations * ops_per_iter;
+  wall_ms = m.wall_ms;
+  allocations = m.allocs.allocations;
+  has_allocations = true;
+  return *this;
+}
+
+BenchReporter::BenchReporter(std::string name, BenchFlags flags)
+    : name_(std::move(name)), flags_(std::move(flags)) {}
+
+BenchReporter::BenchReporter(std::string name, int argc, char** argv)
+    : BenchReporter(std::move(name), ParseFlags(argc, argv)) {}
+
+BenchCase& BenchReporter::AddCase(const std::string& case_name) {
+  cases_.emplace_back();
+  cases_.back().name = case_name;
+  return cases_.back();
+}
+
+BenchCase& BenchReporter::MeasureCase(const std::string& case_name,
+                                      const MeasureOptions& options,
+                                      uint64_t ops_per_iter,
+                                      const std::function<void()>& body) {
+  Measurement m = MeasureLoop(options, body);
+  return AddCase(case_name).From(m, ops_per_iter);
+}
+
+std::string BenchReporter::output_path() const {
+  std::string dir = EnvString("ITRIM_BENCH_OUT_DIR", ".");
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + "BENCH_" + name_ + ".json";
+}
+
+std::string BenchReporter::ToJson() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
+  out += "  \"timestamp_utc\": \"" + UtcTimestamp() + "\",\n";
+  out += "  \"context\": {\n";
+  out += "    \"compiler\": \"" + JsonEscape(__VERSION__) + "\",\n";
+  out += std::string("    \"build_type\": \"") + BuildType() + "\",\n";
+  out += "    \"hardware_concurrency\": " +
+         JsonNumber(static_cast<double>(DefaultNumThreads())) + ",\n";
+  out += "    \"jobs\": " +
+         JsonNumber(static_cast<double>(EffectiveJobs(flags_))) + ",\n";
+  out += std::string("    \"smoke\": ") + (flags_.smoke ? "true" : "false") +
+         ",\n";
+  out += "    \"argv\": [";
+  for (size_t i = 0; i < flags_.argv.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(flags_.argv[i]) + "\"";
+  }
+  out += "],\n";
+  out += "    \"env\": {";
+  bool first_env = true;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    if (std::strncmp(*e, "ITRIM_", 6) != 0) continue;
+    const char* eq = std::strchr(*e, '=');
+    if (eq == nullptr) continue;
+    if (!first_env) out += ", ";
+    first_env = false;
+    out += "\"" + JsonEscape(std::string(*e, static_cast<size_t>(eq - *e))) +
+           "\": \"" + JsonEscape(eq + 1) + "\"";
+  }
+  out += "}\n";
+  out += "  },\n";
+  out += "  \"cases\": [\n";
+  for (size_t i = 0; i < cases_.size(); ++i) {
+    const BenchCase& c = cases_[i];
+    out += "    {\n";
+    out += "      \"name\": \"" + JsonEscape(c.name) + "\",\n";
+    out += "      \"iterations\": " +
+           JsonNumber(static_cast<double>(c.iterations)) + ",\n";
+    const uint64_t ops = c.ops > 0 ? c.ops : c.iterations;
+    out += "      \"ops\": " + JsonNumber(static_cast<double>(ops)) + ",\n";
+    out += "      \"wall_ms\": " + JsonNumber(c.wall_ms);
+    if (ops > 0 && c.wall_ms > 0.0) {
+      const double ops_d = static_cast<double>(ops);
+      out += ",\n      \"ns_per_op\": " +
+             JsonNumber(c.wall_ms * 1e6 / ops_d) +
+             ",\n      \"ops_per_sec\": " +
+             JsonNumber(ops_d / (c.wall_ms / 1e3));
+    }
+    if (c.has_allocations) {
+      out += ",\n      \"allocations\": " +
+             JsonNumber(static_cast<double>(c.allocations));
+      if (ops > 0) {
+        out += ",\n      \"allocs_per_op\": " +
+               JsonNumber(static_cast<double>(c.allocations) /
+                          static_cast<double>(ops));
+      }
+    }
+    if (!c.counters.empty()) {
+      out += ",\n      \"counters\": {";
+      bool first = true;
+      for (const auto& [key, value] : c.counters) {
+        if (!first) out += ", ";
+        first = false;
+        out += "\"" + JsonEscape(key) + "\": " + JsonNumber(value);
+      }
+      out += "}";
+    }
+    out += "\n    }";
+    if (i + 1 < cases_.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status BenchReporter::WriteJson() const {
+  const std::string path = output_path();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write to " + path);
+  }
+  std::fprintf(stderr, "bench telemetry: %s\n", path.c_str());
+  return Status::OK();
+}
+
+}  // namespace itrim::bench

@@ -1,0 +1,125 @@
+// Structured bench telemetry: every bench binary emits BENCH_<name>.json.
+//
+// The perf trajectory of this repo is tracked PR-over-PR from these files:
+// the CI smoke leg runs each bench with --smoke, uploads the JSON as an
+// artifact and diffs the fleet numbers against bench/baselines/ (see
+// tools/bench_gate.py); the nightly workflow runs the full grid and
+// publishes the JSON for trend plots. Console tables stay human-facing and
+// unchanged — the JSON is the machine-facing contract.
+//
+// Schema (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",                  // BENCH_<name>.json
+//     "timestamp_utc": "YYYY-MM-DDThh:mm:ssZ",
+//     "context": {
+//       "compiler": "...", "build_type": "Release|Debug",
+//       "hardware_concurrency": N, "jobs": N, "smoke": bool,
+//       "argv": [...],
+//       "env": { "ITRIM_*": "..." }       // every set ITRIM_* variable
+//     },
+//     "cases": [
+//       {
+//         "name": "...",
+//         "iterations": N,                // timed loop runs
+//         "ops": N,                       // work items across the loop
+//         "wall_ms": x,
+//         "ns_per_op": x, "ops_per_sec": x,   // derived from ops/wall
+//         "allocations": N, "allocs_per_op": x,  // heap traffic (timed)
+//         "counters": { "<k>": x, ... }   // bench-specific extras
+//       }
+//     ]
+//   }
+//
+// A case's `ops` is what its throughput is denominated in (tenant-rounds,
+// board operations, experiment arms, ...) and is named in a counter when
+// ambiguous. Cases that only gate correctness can be recorded with
+// AddCase(...).Ok() — they appear with iterations = 0 and no derived rates.
+#ifndef ITRIM_BENCH_REPORTER_H_
+#define ITRIM_BENCH_REPORTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/flags.h"
+#include "bench/measure.h"
+#include "common/status.h"
+
+namespace itrim::bench {
+
+/// \brief One reported case; fields are set through the fluent setters so
+/// call sites read as a schema.
+struct BenchCase {
+  std::string name;
+  uint64_t iterations = 0;
+  uint64_t ops = 0;
+  double wall_ms = 0.0;
+  uint64_t allocations = 0;
+  bool has_allocations = false;
+  std::map<std::string, double> counters;
+
+  BenchCase& Iterations(uint64_t n) { iterations = n; return *this; }
+  /// Total work items the timed region processed (throughput denominator).
+  BenchCase& Ops(uint64_t n) { ops = n; return *this; }
+  BenchCase& WallMs(double ms) { wall_ms = ms; return *this; }
+  BenchCase& Allocations(uint64_t n) {
+    allocations = n;
+    has_allocations = true;
+    return *this;
+  }
+  BenchCase& Counter(const std::string& key, double value) {
+    counters[key] = value;
+    return *this;
+  }
+  /// \brief Adopts a MeasureLoop result wholesale (`ops_per_iter` work
+  /// items per body run).
+  BenchCase& From(const Measurement& m, uint64_t ops_per_iter = 1);
+  /// \brief Marks a correctness-only case (no timing); records pass = 1.
+  BenchCase& Ok() { return Counter("pass", 1.0); }
+};
+
+/// \brief Collects cases and writes BENCH_<name>.json.
+///
+/// The output directory is ITRIM_BENCH_OUT_DIR when set, else the working
+/// directory. Construction captures the context (flags, compiler, ITRIM_*
+/// environment); WriteJson() is explicit so a failed gate can exit without
+/// publishing misleading numbers.
+class BenchReporter {
+ public:
+  BenchReporter(std::string name, BenchFlags flags);
+  BenchReporter(std::string name, int argc, char** argv);
+
+  /// \brief Appends a case; the returned reference is valid until the next
+  /// AddCase call.
+  BenchCase& AddCase(const std::string& case_name);
+
+  /// \brief Measures `body` under `options` and records one case of
+  /// `ops_per_iter` work items per body run.
+  BenchCase& MeasureCase(const std::string& case_name,
+                         const MeasureOptions& options, uint64_t ops_per_iter,
+                         const std::function<void()>& body);
+
+  const BenchFlags& flags() const { return flags_; }
+  const std::vector<BenchCase>& cases() const { return cases_; }
+
+  /// \brief Path WriteJson() will write to.
+  std::string output_path() const;
+
+  /// \brief Serializes the report (pretty-printed, stable key order).
+  std::string ToJson() const;
+
+  /// \brief Writes output_path(); surfaces I/O failures as a Status.
+  Status WriteJson() const;
+
+ private:
+  std::string name_;
+  BenchFlags flags_;
+  std::vector<BenchCase> cases_;
+};
+
+}  // namespace itrim::bench
+
+#endif  // ITRIM_BENCH_REPORTER_H_

@@ -38,6 +38,29 @@ uint64_t Rng::UniformInt(uint64_t n) {
   }
 }
 
+void Rng::FillUniformInt(uint64_t n, uint64_t* out, size_t count) {
+  assert(n > 0);
+  // Hoisted UniformInt loop: the rejection threshold is computed once and
+  // the per-call entry/exit disappears, but every word of output comes from
+  // the exact NextU64 sequence the scalar calls would consume.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (size_t i = 0; i < count; ++i) {
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        out[i] = r % n;
+        break;
+      }
+    }
+  }
+}
+
+void Rng::FillUniform(double* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+}
+
 double Rng::Normal() {
   if (have_cached_normal_) {
     have_cached_normal_ = false;
@@ -83,7 +106,14 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 std::vector<double> Rng::UnitVector(size_t dim) {
-  std::vector<double> v(dim);
+  std::vector<double> v;
+  UnitVectorInto(dim, &v);
+  return v;
+}
+
+void Rng::UnitVectorInto(size_t dim, std::vector<double>* out) {
+  std::vector<double>& v = *out;
+  v.resize(dim);
   double norm_sq = 0.0;
   do {
     norm_sq = 0.0;
@@ -94,7 +124,6 @@ std::vector<double> Rng::UnitVector(size_t dim) {
   } while (norm_sq == 0.0);
   double inv = 1.0 / std::sqrt(norm_sq);
   for (double& x : v) x *= inv;
-  return v;
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {

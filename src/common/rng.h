@@ -56,6 +56,16 @@ class Rng {
   /// \brief Uniform integer in [0, n). Requires n > 0.
   uint64_t UniformInt(uint64_t n);
 
+  /// \brief Fills out[0..count) with draws bit-identical to `count`
+  /// successive UniformInt(n) calls. One call per round amortizes the
+  /// per-draw call overhead in the streaming hot path without perturbing
+  /// the stream (the batch IS the sequence of scalar draws).
+  void FillUniformInt(uint64_t n, uint64_t* out, size_t count);
+
+  /// \brief Fills out[0..count) with draws bit-identical to `count`
+  /// successive Uniform() calls.
+  void FillUniform(double* out, size_t count);
+
   /// \brief Standard normal deviate (Box–Muller, cached pair).
   double Normal();
 
@@ -77,6 +87,10 @@ class Rng {
 
   /// \brief Random unit vector of dimension `dim` (uniform on the sphere).
   std::vector<double> UnitVector(size_t dim);
+
+  /// \brief UnitVector into caller-owned storage (resized to `dim`, capacity
+  /// reused); the draw sequence is identical to UnitVector(dim).
+  void UnitVectorInto(size_t dim, std::vector<double>* out);
 
   /// \brief Fisher–Yates shuffle of `v`.
   template <typename T>

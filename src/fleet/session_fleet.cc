@@ -1,5 +1,6 @@
 #include "fleet/session_fleet.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -29,13 +30,17 @@ Status TenantStatus(size_t index, const std::string& name,
   return Status::WithCode(status.code(), std::move(msg));
 }
 
-FleetQuantiles QuantileTriple(std::vector<double> values) {
+// In-place p10/p50/p90: sorts `values` and interpolates exactly like
+// Quantiles(values, {0.10, 0.50, 0.90}) (same sort, same QuantileSorted
+// arithmetic — bit-identical), but without the copy and the result-vector
+// allocation, so the per-round reduction can run entirely in fleet scratch.
+FleetQuantiles QuantileTriple(std::vector<double>* values) {
   FleetQuantiles q;
-  if (values.empty()) return q;
-  std::vector<double> qs = Quantiles(std::move(values), {0.10, 0.50, 0.90});
-  q.p10 = qs[0];
-  q.p50 = qs[1];
-  q.p90 = qs[2];
+  if (values->empty()) return q;
+  std::sort(values->begin(), values->end());
+  q.p10 = QuantileSorted(*values, 0.10);
+  q.p50 = QuantileSorted(*values, 0.50);
+  q.p90 = QuantileSorted(*values, 0.90);
   return q;
 }
 
@@ -96,6 +101,14 @@ Status SessionFleet::Bootstrap() {
   }
 
   round_aggregates_.clear();
+  // Pre-size the lockstep book and the per-round scratch so steady-state
+  // StepRounds within the configured horizon never grow them.
+  round_aggregates_.reserve(static_cast<size_t>(config_.rounds));
+  step_records_.resize(tenants_.size());
+  step_statuses_.resize(tenants_.size());
+  reduce_trim_rates_.reserve(tenants_.size());
+  reduce_acceptances_.reserve(tenants_.size());
+  reduce_qualities_.reserve(tenants_.size());
   next_round_ = 1;
   bootstrapped_ = true;
   return Status::OK();
@@ -106,32 +119,41 @@ Result<FleetRoundAggregate> SessionFleet::StepRound() {
     return Status::FailedPrecondition("fleet is not bootstrapped");
   }
   const size_t n = tenants_.size();
-  std::vector<RoundRecord> records(n);
-  std::vector<Status> statuses(n);
-  ParallelForShards(
-      n, static_cast<size_t>(config_.shard_size),
-      [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          Result<RoundRecord> record = tenants_[i].session->Step();
-          if (record.ok()) {
-            records[i] = std::move(record).ValueOrDie();
-          } else {
-            statuses[i] = record.status();
-          }
-        }
-      },
-      config_.threads);
+  step_records_.resize(n);
+  step_statuses_.resize(n);
+  auto step_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Result<RoundRecord> record = tenants_[i].session->Step();
+      if (record.ok()) {
+        step_records_[i] = std::move(record).ValueOrDie();
+        step_statuses_[i] = Status::OK();
+      } else {
+        step_statuses_[i] = record.status();
+      }
+    }
+  };
+  // Serial fast path: stepping inline skips the type-erased ParallelFor
+  // plumbing (std::function wrappers and futures), which is what keeps a
+  // single-threaded steady-state StepRound off the heap entirely.
+  const int jobs =
+      config_.threads > 0 ? config_.threads : DefaultNumThreads();
+  if (jobs <= 1 || n == 1) {
+    step_range(0, n);
+  } else {
+    ParallelForShards(n, static_cast<size_t>(config_.shard_size), step_range,
+                      config_.threads);
+  }
   for (size_t i = 0; i < n; ++i) {
-    if (!statuses[i].ok()) {
+    if (!step_statuses_[i].ok()) {
       // A partial round breaks the lockstep invariant (some sessions have
       // advanced, this one has not); the fleet must not be steppable
       // again, or later aggregates would mix records of different rounds.
       bootstrapped_ = false;
-      return TenantStatus(i, specs_[i].name, statuses[i]);
+      return TenantStatus(i, specs_[i].name, step_statuses_[i]);
     }
   }
 
-  FleetRoundAggregate aggregate = ReduceRound(next_round_, records);
+  FleetRoundAggregate aggregate = ReduceRound(next_round_, step_records_);
   round_aggregates_.push_back(aggregate);
   ++next_round_;
   return aggregate;
@@ -163,9 +185,9 @@ FleetSummary SessionFleet::Finish() const {
     summary.total_poison_kept += game.TotalPoisonKept();
     summary.tenants.push_back(std::move(game));
   }
-  summary.untrimmed_poison_fraction = QuantileTriple(std::move(untrimmed));
-  summary.benign_loss_fraction = QuantileTriple(std::move(benign_loss));
-  summary.poison_survival_rate = QuantileTriple(std::move(survival));
+  summary.untrimmed_poison_fraction = QuantileTriple(&untrimmed);
+  summary.benign_loss_fraction = QuantileTriple(&benign_loss);
+  summary.poison_survival_rate = QuantileTriple(&survival);
   return summary;
 }
 
@@ -235,14 +257,13 @@ Status SessionFleet::Restore(const FleetCheckpoint& checkpoint) {
 }
 
 FleetRoundAggregate SessionFleet::ReduceRound(
-    int round, const std::vector<RoundRecord>& records) const {
+    int round, const std::vector<RoundRecord>& records) {
   FleetRoundAggregate aggregate;
   aggregate.round = round;
   aggregate.tenants = records.size();
-  std::vector<double> trim_rates, acceptances, qualities;
-  trim_rates.reserve(records.size());
-  acceptances.reserve(records.size());
-  qualities.reserve(records.size());
+  reduce_trim_rates_.clear();
+  reduce_acceptances_.clear();
+  reduce_qualities_.clear();
   for (const RoundRecord& record : records) {
     aggregate.benign_received += record.benign_received;
     aggregate.poison_received += record.poison_received;
@@ -250,19 +271,19 @@ FleetRoundAggregate SessionFleet::ReduceRound(
     aggregate.poison_kept += record.poison_kept;
     size_t received = record.benign_received + record.poison_received;
     size_t kept = record.benign_kept + record.poison_kept;
-    trim_rates.push_back(SafeRatio(received - kept, received));
-    acceptances.push_back(SafeRatio(record.poison_kept,
-                                    record.poison_received));
-    qualities.push_back(record.quality);
+    reduce_trim_rates_.push_back(SafeRatio(received - kept, received));
+    reduce_acceptances_.push_back(SafeRatio(record.poison_kept,
+                                            record.poison_received));
+    reduce_qualities_.push_back(record.quality);
   }
   size_t received = aggregate.benign_received + aggregate.poison_received;
   size_t kept = aggregate.benign_kept + aggregate.poison_kept;
   aggregate.trim_rate = SafeRatio(received - kept, received);
   aggregate.poison_acceptance =
       SafeRatio(aggregate.poison_kept, aggregate.poison_received);
-  aggregate.tenant_trim_rate = QuantileTriple(std::move(trim_rates));
-  aggregate.tenant_poison_acceptance = QuantileTriple(std::move(acceptances));
-  aggregate.tenant_quality = QuantileTriple(std::move(qualities));
+  aggregate.tenant_trim_rate = QuantileTriple(&reduce_trim_rates_);
+  aggregate.tenant_poison_acceptance = QuantileTriple(&reduce_acceptances_);
+  aggregate.tenant_quality = QuantileTriple(&reduce_qualities_);
   return aggregate;
 }
 

@@ -151,9 +151,10 @@ class SessionFleet {
   /// marks the fleet un-steppable until the caller finishes its pass.
   Status Materialize();
   /// Reduces one lockstep round's records (tenant order) into an aggregate.
+  /// Non-const: the cross-tenant quantile reduction runs in the reduce
+  /// scratch below.
   FleetRoundAggregate ReduceRound(int round,
-                                  const std::vector<RoundRecord>& records)
-      const;
+                                  const std::vector<RoundRecord>& records);
   /// Rebuilds round_aggregates_ from the sessions' replayed records.
   void RebuildAggregates();
 
@@ -163,6 +164,16 @@ class SessionFleet {
   std::vector<FleetRoundAggregate> round_aggregates_;
   int next_round_ = 1;
   bool bootstrapped_ = false;
+  // StepRound scratch, sized to the tenant count once and reused every
+  // round: per-tenant result/status slots plus the reduction's rate
+  // vectors. With these (and the sessions' own scratch) a steady-state
+  // StepRound performs zero heap allocations at threads == 1
+  // (tests/game/zero_alloc_test.cc).
+  std::vector<RoundRecord> step_records_;
+  std::vector<Status> step_statuses_;
+  std::vector<double> reduce_trim_rates_;
+  std::vector<double> reduce_acceptances_;
+  std::vector<double> reduce_qualities_;
 };
 
 }  // namespace itrim

@@ -95,6 +95,7 @@ Result<Tenant> MaterializeTenant(const TenantSpec& spec, uint64_t seed) {
       tenant.config.round_mass_trimming = false;
       break;
   }
+  tenant.model->set_retain_survivors(spec.retain_survivors);
   tenant.session = std::make_unique<TrimmingSession>(
       tenant.config, tenant.model.get(), tenant.scheme.collector.get(),
       adversary, tenant.scheme.quality.get());

@@ -52,6 +52,15 @@ struct TenantSpec {
   SchemeId scheme = SchemeId::kElastic05;
   SchemeOptions scheme_options;
   GameConfig game;
+  /// When true, the tenant's score model accumulates the sanitized
+  /// survivors of every round (the batch-game behavior, reachable through
+  /// SessionFleet::tenant(i).model). Fleets default it OFF: the fleet
+  /// product is the per-round aggregates, and an ever-growing survivor
+  /// store per tenant is an unbounded memory cost times thousands of
+  /// tenants — and the one per-round heap allocation left in a
+  /// steady-state Step(). Round records and aggregates are bit-identical
+  /// either way.
+  bool retain_survivors = false;
 
   // Data sources, required per model kind:
   const std::vector<double>* scalar_pool = nullptr;   ///< kScalar

@@ -88,6 +88,11 @@ void IndexedBoard::Clear() {
   root_ = kNil;
 }
 
+void IndexedBoard::Reserve(size_t n) {
+  nodes_.reserve(n);
+  free_.reserve(n);
+}
+
 double IndexedBoard::Kth(size_t k) const {
   assert(k < size());
   uint32_t t = root_;

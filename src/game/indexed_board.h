@@ -38,8 +38,13 @@ class IndexedBoard {
   /// \brief Removes one instance of `value`; false when absent.
   bool EraseOne(double value);
 
-  /// \brief Drops all values and releases node storage.
+  /// \brief Drops all values; node storage is kept for reuse.
   void Clear();
+
+  /// \brief Pre-sizes the node pool for `n` values so the first n inserts
+  /// never grow the arena (a bounded reservoir then runs allocation-free
+  /// forever: replacement erases feed the free list that inserts drain).
+  void Reserve(size_t n);
 
   /// \brief Number of values currently held.
   size_t size() const { return root_ == kNil ? 0 : nodes_[root_].count; }

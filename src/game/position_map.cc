@@ -108,10 +108,17 @@ double PositionMap::PositionOfRow(const std::vector<double>& row) const {
 
 std::vector<double> PositionMap::MakePoint(
     double position, const std::vector<double>& direction) const {
-  assert(direction.size() == centroid_.size());
-  std::vector<double> out = centroid_;
-  Axpy(DistanceAt(position), direction, &out);
+  std::vector<double> out;
+  MakePointInto(position, direction, &out);
   return out;
+}
+
+void PositionMap::MakePointInto(double position,
+                                const std::vector<double>& direction,
+                                std::vector<double>* out) const {
+  assert(direction.size() == centroid_.size());
+  out->assign(centroid_.begin(), centroid_.end());
+  Axpy(DistanceAt(position), direction, out);
 }
 
 }  // namespace itrim

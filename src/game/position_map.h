@@ -61,6 +61,10 @@ class PositionMap {
   std::vector<double> MakePoint(double position,
                                 const std::vector<double>& direction) const;
 
+  /// \brief MakePoint into caller-owned storage (resized, capacity reused).
+  void MakePointInto(double position, const std::vector<double>& direction,
+                     std::vector<double>* out) const;
+
   /// \brief Unit direction of the upper quantile vector q(0.95) - centroid:
   /// the data-meaningful "all features high" direction a colluding adversary
   /// fabricates values along (a random direction would be nearly orthogonal

@@ -3,7 +3,14 @@
 namespace itrim {
 
 PublicBoard::PublicBoard(size_t capacity, uint64_t seed)
-    : capacity_(capacity), rng_(seed) {}
+    : capacity_(capacity), rng_(seed) {
+  if (capacity_ > 0) {
+    // A bounded board's storage high-water mark is known up front; paying
+    // it here keeps the record path allocation-free from the first value.
+    values_.reserve(capacity_);
+    index_.Reserve(capacity_);
+  }
+}
 
 void PublicBoard::Record(const std::vector<double>& values) {
   for (double v : values) RecordOne(v);

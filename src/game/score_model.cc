@@ -6,6 +6,13 @@
 
 namespace itrim {
 
+Result<TrimOutcome> ScoreModel::TrimAtReference(double percentile,
+                                                const PublicBoard& board) {
+  TrimOutcome out;
+  ITRIM_RETURN_NOT_OK(TrimAtReferenceInto(percentile, board, &out));
+  return out;
+}
+
 size_t ScoreModel::PoisonCount(const GameConfig& config, double* quota) const {
   // Fractional poison accrues across rounds so that tiny attack ratios
   // (fewer than one poison value per round) still inject the right total.
@@ -47,8 +54,10 @@ void IdentityScoreModel::BeginRound(size_t expected) {
 }
 
 void IdentityScoreModel::AppendBenign(size_t count, Rng* rng) {
+  index_scratch_.resize(count);
+  rng->FillUniformInt(benign_pool_->size(), index_scratch_.data(), count);
   for (size_t i = 0; i < count; ++i) {
-    values_.push_back((*benign_pool_)[rng->UniformInt(benign_pool_->size())]);
+    values_.push_back((*benign_pool_)[index_scratch_[i]]);
     is_poison_.push_back(0);
   }
 }
@@ -63,13 +72,16 @@ Status IdentityScoreModel::AppendPoison(double position, Rng* /*rng*/,
   return Status::OK();
 }
 
-Result<TrimOutcome> IdentityScoreModel::TrimAtReference(
-    double percentile, const PublicBoard& board) {
+Status IdentityScoreModel::TrimAtReferenceInto(double percentile,
+                                               const PublicBoard& board,
+                                               TrimOutcome* out) {
   ITRIM_ASSIGN_OR_RETURN(double cutoff, board.Quantile(percentile));
-  return TrimAboveValue(values_, cutoff);
+  TrimAboveValueInto(values_, cutoff, out);
+  return Status::OK();
 }
 
 void IdentityScoreModel::Commit(const std::vector<char>& keep) {
+  if (!retain_survivors_) return;
   for (size_t i = 0; i < values_.size(); ++i) {
     if (keep[i]) {
       retained_.push_back(values_[i]);
@@ -112,24 +124,41 @@ Status DistanceScoreModel::Bootstrap(size_t bootstrap_size, Rng* rng,
   for (const auto& row : bootstrap) {
     board->RecordOne(position_map_.PositionOfRow(row));
   }
+  source_scores_.resize(source_->rows.size());
+  for (size_t i = 0; i < source_->rows.size(); ++i) {
+    source_scores_[i] = position_map_.PositionOfRow(source_->rows[i]);
+  }
   return Status::OK();
 }
 
 void DistanceScoreModel::BeginRound(size_t expected) {
-  rows_.clear();
+  rows_used_ = 0;
   labels_.clear();
   scores_.clear();
   is_poison_.clear();
   rows_.reserve(expected);
   scores_.reserve(expected);
+  is_poison_.reserve(expected);
+}
+
+std::vector<double>* DistanceScoreModel::NextRowSlot() {
+  if (rows_used_ == rows_.size()) rows_.emplace_back();
+  return &rows_[rows_used_++];
 }
 
 void DistanceScoreModel::AppendBenign(size_t count, Rng* rng) {
+  index_scratch_.resize(count);
+  rng->FillUniformInt(source_->rows.size(), index_scratch_.data(), count);
   for (size_t i = 0; i < count; ++i) {
-    size_t idx = static_cast<size_t>(rng->UniformInt(source_->rows.size()));
-    rows_.push_back(source_->rows[idx]);
+    const size_t idx = static_cast<size_t>(index_scratch_[i]);
+    if (retain_survivors_) {
+      // Rows are only ever consumed by Commit(); a streaming session that
+      // retains nothing never materializes them.
+      const std::vector<double>& src = source_->rows[idx];
+      NextRowSlot()->assign(src.begin(), src.end());
+    }
     if (labeled_) labels_.push_back(source_->labels[idx]);
-    scores_.push_back(position_map_.PositionOfRow(rows_.back()));
+    scores_.push_back(source_scores_[idx]);
     is_poison_.push_back(0);
   }
 }
@@ -138,7 +167,7 @@ void DistanceScoreModel::PrepareInjection(Rng* rng) {
   // Colluding Sybil attackers share one direction per round: the
   // data-meaningful quantile direction ("all features high"), jittered so
   // rounds do not stack on one exact ray.
-  direction_ = rng->UnitVector(source_->dims());
+  rng->UnitVectorInto(source_->dims(), &direction_);
   const auto& qdir = position_map_.quantile_direction();
   double norm_sq = 0.0;
   for (size_t j = 0; j < direction_.size(); ++j) {
@@ -151,7 +180,12 @@ void DistanceScoreModel::PrepareInjection(Rng* rng) {
 
 Status DistanceScoreModel::AppendPoison(double position, Rng* rng,
                                         const PublicBoard& /*board*/) {
-  rows_.push_back(position_map_.MakePoint(position, direction_));
+  // Poison rows are freshly fabricated, so their scores are computed on
+  // arrival either way; only the destination differs (a retained-round
+  // slot vs a reused scratch row).
+  std::vector<double>* row =
+      retain_survivors_ ? NextRowSlot() : &poison_row_scratch_;
+  position_map_.MakePointInto(position, direction_, row);
   if (labeled_) {
     // Opportunistic label claims: drawn at random per value, which plants
     // *contradictory* constraints at the injection point — for a max-margin
@@ -160,19 +194,22 @@ Status DistanceScoreModel::AppendPoison(double position, Rng* rng,
     labels_.push_back(static_cast<int>(
         rng->UniformInt(std::max<size_t>(1, source_->num_clusters))));
   }
-  scores_.push_back(position_map_.PositionOfRow(rows_.back()));
+  scores_.push_back(position_map_.PositionOfRow(*row));
   is_poison_.push_back(1);
   return Status::OK();
 }
 
-Result<TrimOutcome> DistanceScoreModel::TrimAtReference(
-    double percentile, const PublicBoard& /*board*/) {
+Status DistanceScoreModel::TrimAtReferenceInto(double percentile,
+                                               const PublicBoard& /*board*/,
+                                               TrimOutcome* out) {
   // Positions *are* percentiles: the threshold applies directly.
-  return TrimAboveValue(scores_, percentile);
+  TrimAboveValueInto(scores_, percentile, out);
+  return Status::OK();
 }
 
 void DistanceScoreModel::Commit(const std::vector<char>& keep) {
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  if (!retain_survivors_) return;
+  for (size_t i = 0; i < rows_used_; ++i) {
     if (keep[i]) {
       retained_.rows.push_back(std::move(rows_[i]));
       if (labeled_) retained_.labels.push_back(labels_[i]);

@@ -112,13 +112,34 @@ class ScoreModel {
 
   /// \brief Trims the current round's scores at reference percentile
   /// `percentile` (< 1; the keep-all and round-mass branches live in the
-  /// engine).
-  virtual Result<TrimOutcome> TrimAtReference(double percentile,
-                                              const PublicBoard& board) = 0;
+  /// engine), writing the outcome into caller-owned storage. `out`'s keep
+  /// mask is overwritten in place so a warm TrimOutcome keeps the round
+  /// loop allocation-free.
+  virtual Status TrimAtReferenceInto(double percentile,
+                                     const PublicBoard& board,
+                                     TrimOutcome* out) = 0;
+
+  /// \brief Convenience wrapper over TrimAtReferenceInto for batch callers.
+  Result<TrimOutcome> TrimAtReference(double percentile,
+                                      const PublicBoard& board);
 
   /// \brief Moves the round's survivors (per keep mask) into the retained
-  /// store.
+  /// store (no-op while retain_survivors() is off).
   virtual void Commit(const std::vector<char>& keep) = 0;
+
+  /// \brief Controls the retained (sanitized) output store. The batch game
+  /// adapters keep it on — their product IS the retained data — but a
+  /// long-lived streaming session or a fleet of thousands of tenants only
+  /// consumes the per-round records, and an ever-growing survivor store is
+  /// both an unbounded memory cost and the last steady-state heap
+  /// allocation in Step(); such callers switch it off. The toggle never
+  /// affects the round protocol or the RNG stream: records are
+  /// bit-identical either way.
+  void set_retain_survivors(bool retain) { retain_survivors_ = retain; }
+  bool retain_survivors() const { return retain_survivors_; }
+
+ protected:
+  bool retain_survivors_ = true;
 };
 
 /// \brief Scalar (1-D) setting: scores are the values themselves.
@@ -138,8 +159,8 @@ class IdentityScoreModel : public ScoreModel {
                       const PublicBoard& board) override;
   const std::vector<double>& scores() const override { return values_; }
   const std::vector<char>& is_poison() const override { return is_poison_; }
-  Result<TrimOutcome> TrimAtReference(double percentile,
-                                      const PublicBoard& board) override;
+  Status TrimAtReferenceInto(double percentile, const PublicBoard& board,
+                             TrimOutcome* out) override;
   void Commit(const std::vector<char>& keep) override;
 
   /// \brief Retained values accumulated since BeginRun().
@@ -153,6 +174,7 @@ class IdentityScoreModel : public ScoreModel {
   const std::vector<double>* benign_pool_;
   std::vector<double> values_;
   std::vector<char> is_poison_;
+  std::vector<uint64_t> index_scratch_;  ///< batched benign-draw indices
   std::vector<double> retained_;
   std::vector<char> retained_is_poison_;
 };
@@ -179,8 +201,8 @@ class DistanceScoreModel : public ScoreModel {
                       const PublicBoard& board) override;
   const std::vector<double>& scores() const override { return scores_; }
   const std::vector<char>& is_poison() const override { return is_poison_; }
-  Result<TrimOutcome> TrimAtReference(double percentile,
-                                      const PublicBoard& board) override;
+  Status TrimAtReferenceInto(double percentile, const PublicBoard& board,
+                             TrimOutcome* out) override;
   void Commit(const std::vector<char>& keep) override;
 
   /// \brief Survivor rows + labels accumulated since BeginRun() (poison
@@ -197,12 +219,29 @@ class DistanceScoreModel : public ScoreModel {
   const PositionMap& position_map() const { return position_map_; }
 
  private:
+  /// Next reusable round-row slot: rows_ is a pool that only grows, and
+  /// rows_used_ counts the slots the current round occupies, so a warm
+  /// round re-fills existing inner vectors instead of allocating fresh
+  /// ones. (Commit() may move survivors out when retaining; the vacated
+  /// slots then re-grow on the next fill, which is the retaining mode's
+  /// price, not the streaming steady state's.)
+  std::vector<double>* NextRowSlot();
+
   const Dataset* source_;
   bool labeled_ = false;
   PositionMap position_map_;
   std::vector<double> centroid_;
   std::vector<double> direction_;
+  /// PositionOfRow of every source row, fixed once Bootstrap() builds the
+  /// geometry: benign arrivals are source rows sampled with replacement,
+  /// so their scores are table lookups instead of d-dimensional distance
+  /// evaluations every round (the doubles are the cached results of the
+  /// exact same computation — bit-identical to scoring on arrival).
+  std::vector<double> source_scores_;
+  std::vector<double> poison_row_scratch_;  ///< poison row when not retaining
   std::vector<std::vector<double>> rows_;
+  size_t rows_used_ = 0;
+  std::vector<uint64_t> index_scratch_;  ///< batched benign-draw indices
   std::vector<int> labels_;
   std::vector<double> scores_;
   std::vector<char> is_poison_;

@@ -164,6 +164,10 @@ Status TrimmingSession::Bootstrap() {
   poison_quota_ = 0.0;
   next_round_ = 1;
   records_.clear();
+  // Pre-size the per-round book so steady-state Steps within the
+  // configured horizon never reallocate it (open-ended streams beyond
+  // config().rounds fall back to amortized growth).
+  records_.reserve(static_cast<size_t>(config_.rounds));
   bootstrapped_ = true;
   return Status::OK();
 }
@@ -206,17 +210,19 @@ Result<RoundRecord> TrimmingSession::Step() {
   double quality_score =
       quality_ != nullptr ? quality_->Evaluate(scores, board_) : 1.0;
 
-  // Trim.
-  TrimOutcome outcome;
+  // Trim, into the session-owned scratch outcome (no per-round heap).
+  TrimOutcome& outcome = trim_scratch_;
   if (trim_percentile >= 1.0) {
     outcome.keep.assign(scores.size(), 1);
     outcome.kept_count = scores.size();
+    outcome.removed_count = 0;
     outcome.cutoff = std::numeric_limits<double>::infinity();
   } else if (config_.round_mass_trimming) {
-    outcome = TrimTopFraction(scores, trim_percentile);
+    TrimTopFractionInto(scores, trim_percentile, &trim_idx_scratch_,
+                        &outcome);
   } else {
-    ITRIM_ASSIGN_OR_RETURN(outcome,
-                           model_->TrimAtReference(trim_percentile, board_));
+    ITRIM_RETURN_NOT_OK(
+        model_->TrimAtReferenceInto(trim_percentile, board_, &outcome));
   }
 
   RoundRecord record;

@@ -41,6 +41,7 @@
 #include "game/public_board.h"
 #include "game/quality.h"
 #include "game/strategies.h"
+#include "game/trimmer.h"
 
 namespace itrim {
 
@@ -170,6 +171,10 @@ class TrimmingSession {
   int next_round_ = 1;
   bool bootstrapped_ = false;
   std::vector<RoundRecord> records_;
+  // Round-loop scratch, reused across Step() calls so the steady state
+  // never touches the heap (tests/game/zero_alloc_test.cc holds the line).
+  TrimOutcome trim_scratch_;
+  std::vector<size_t> trim_idx_scratch_;
 };
 
 }  // namespace itrim

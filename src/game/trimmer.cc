@@ -12,17 +12,24 @@ namespace itrim {
 
 TrimOutcome TrimAboveValue(const std::vector<double>& values, double cutoff) {
   TrimOutcome out;
-  out.cutoff = cutoff;
-  out.keep.resize(values.size(), 1);
+  TrimAboveValueInto(values, cutoff, &out);
+  return out;
+}
+
+void TrimAboveValueInto(const std::vector<double>& values, double cutoff,
+                        TrimOutcome* out) {
+  out->cutoff = cutoff;
+  out->kept_count = 0;
+  out->removed_count = 0;
+  out->keep.assign(values.size(), 1);
   for (size_t i = 0; i < values.size(); ++i) {
     if (values[i] > cutoff) {
-      out.keep[i] = 0;
-      ++out.removed_count;
+      out->keep[i] = 0;
+      ++out->removed_count;
     } else {
-      ++out.kept_count;
+      ++out->kept_count;
     }
   }
-  return out;
 }
 
 Result<TrimOutcome> TrimAtReferencePercentile(
@@ -44,28 +51,35 @@ Result<TrimOutcome> TrimAtReferencePercentile(
 
 TrimOutcome TrimTopFraction(const std::vector<double>& values, double q) {
   TrimOutcome out;
-  out.keep.assign(values.size(), 1);
+  std::vector<size_t> idx;
+  TrimTopFractionInto(values, q, &idx, &out);
+  return out;
+}
+
+void TrimTopFractionInto(const std::vector<double>& values, double q,
+                         std::vector<size_t>* idx_scratch, TrimOutcome* out) {
+  out->kept_count = 0;
+  out->removed_count = 0;
+  out->keep.assign(values.size(), 1);
   if (q >= 1.0 || values.empty()) {
-    out.cutoff = std::numeric_limits<double>::infinity();
-    out.kept_count = values.size();
-    return out;
+    out->cutoff = std::numeric_limits<double>::infinity();
+    out->kept_count = values.size();
+    return;
   }
   q = std::max(q, 0.0);
   size_t remove = static_cast<size_t>(
       std::ceil((1.0 - q) * static_cast<double>(values.size())));
   remove = std::min(remove, values.size());
   // Partial sort of indices by descending value; remove the top `remove`.
-  std::vector<size_t> idx(values.size());
+  std::vector<size_t>& idx = *idx_scratch;
+  idx.resize(values.size());
   std::iota(idx.begin(), idx.end(), 0);
   std::nth_element(idx.begin(), idx.begin() + static_cast<long>(remove),
                    idx.end(),
                    [&](size_t a, size_t b) { return values[a] > values[b]; });
-  double cutoff = std::numeric_limits<double>::infinity();
+  out->cutoff = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < remove; ++i) {
-    out.keep[idx[i]] = 0;
-  }
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (out.keep[i]) cutoff = std::min(cutoff, values[i]);
+    out->keep[idx[i]] = 0;
   }
   // The reported cutoff is the smallest removed value (the effective
   // threshold); fall back to +inf when nothing was removed.
@@ -74,11 +88,10 @@ TrimOutcome TrimTopFraction(const std::vector<double>& values, double q) {
     for (size_t i = 0; i < remove; ++i) {
       smallest_removed = std::min(smallest_removed, values[idx[i]]);
     }
-    out.cutoff = smallest_removed;
+    out->cutoff = smallest_removed;
   }
-  out.removed_count = remove;
-  out.kept_count = values.size() - remove;
-  return out;
+  out->removed_count = remove;
+  out->kept_count = values.size() - remove;
 }
 
 DistanceTrimmer::DistanceTrimmer(std::vector<double> centroid)

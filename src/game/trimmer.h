@@ -34,6 +34,12 @@ struct TrimOutcome {
 /// \brief Removes values strictly above `cutoff`.
 TrimOutcome TrimAboveValue(const std::vector<double>& values, double cutoff);
 
+/// \brief TrimAboveValue into caller-owned storage: `out`'s keep mask is
+/// overwritten in place, so a warm TrimOutcome makes repeated trims
+/// allocation-free (the streaming round loop's steady state).
+void TrimAboveValueInto(const std::vector<double>& values, double cutoff,
+                        TrimOutcome* out);
+
 /// \brief Removes values strictly above the q-quantile of `reference`.
 /// Requires a non-empty reference.
 Result<TrimOutcome> TrimAtReferencePercentile(
@@ -43,6 +49,12 @@ Result<TrimOutcome> TrimAtReferencePercentile(
 /// \brief Removes exactly the ceil((1-q)*n) largest values of the round
 /// itself (ties broken by position). q >= 1 keeps everything.
 TrimOutcome TrimTopFraction(const std::vector<double>& values, double q);
+
+/// \brief TrimTopFraction into caller-owned storage. `idx_scratch` holds the
+/// partial-sort index permutation between calls; both it and `out` keep
+/// their capacity, so a warm pair makes repeated trims allocation-free.
+void TrimTopFractionInto(const std::vector<double>& values, double q,
+                         std::vector<size_t>* idx_scratch, TrimOutcome* out);
 
 /// \brief Applies a keep-mask, returning the surviving elements.
 template <typename T>

@@ -75,25 +75,28 @@ double LdpReportScoreModel::InjectionSignal(const PublicBoard& board,
   return estimate;
 }
 
-Result<TrimOutcome> LdpReportScoreModel::TrimAtReference(
-    double percentile, const PublicBoard& board) {
-  TrimOutcome outcome;
+Status LdpReportScoreModel::TrimAtReferenceInto(double percentile,
+                                                const PublicBoard& board,
+                                                TrimOutcome* out) {
   ITRIM_ASSIGN_OR_RETURN(double upper_cut, board.Quantile(percentile));
   ITRIM_ASSIGN_OR_RETURN(double lower_cut, board.Quantile(1.0 - percentile));
-  outcome.cutoff = upper_cut;
-  outcome.keep.assign(reports_.size(), 1);
+  out->cutoff = upper_cut;
+  out->kept_count = 0;
+  out->removed_count = 0;
+  out->keep.assign(reports_.size(), 1);
   for (size_t i = 0; i < reports_.size(); ++i) {
     if (reports_[i] > upper_cut || reports_[i] < lower_cut) {
-      outcome.keep[i] = 0;
-      ++outcome.removed_count;
+      out->keep[i] = 0;
+      ++out->removed_count;
     } else {
-      ++outcome.kept_count;
+      ++out->kept_count;
     }
   }
-  return outcome;
+  return Status::OK();
 }
 
 void LdpReportScoreModel::Commit(const std::vector<char>& keep) {
+  if (!retain_survivors_) return;
   for (size_t i = 0; i < reports_.size(); ++i) {
     if (keep[i]) retained_.push_back(reports_[i]);
   }

@@ -57,8 +57,8 @@ class LdpReportScoreModel : public ScoreModel {
   const std::vector<char>& is_poison() const override { return is_poison_; }
   double InjectionSignal(const PublicBoard& board,
                          double adversary_mean) const override;
-  Result<TrimOutcome> TrimAtReference(double percentile,
-                                      const PublicBoard& board) override;
+  Status TrimAtReferenceInto(double percentile, const PublicBoard& board,
+                             TrimOutcome* out) override;
   void Commit(const std::vector<char>& keep) override;
 
   /// \brief Surviving reports accumulated since BeginRun().

@@ -1,0 +1,133 @@
+// Regression tests for the shared bench flag parsing (src/bench/flags.h),
+// especially the --jobs / ITRIM_THREADS / hardware precedence that used to
+// be copy-pasted (and drifting) across the bench mains.
+#include "bench/flags.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/env.h"
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace itrim::bench {
+namespace {
+
+// Builds a mutable argv from string literals (ParseFlags takes char**).
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+// Scoped environment override restoring the previous value on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(BenchFlagsTest, DefaultsAreEmpty) {
+  ArgvFixture args({"bench"});
+  BenchFlags flags = ParseFlags(args.argc(), args.argv());
+  EXPECT_FALSE(flags.smoke);
+  EXPECT_EQ(flags.jobs, 0);
+  ASSERT_EQ(flags.argv.size(), 1u);
+  EXPECT_EQ(flags.argv[0], "bench");
+}
+
+TEST(BenchFlagsTest, ParsesBothJobsSpellingsAndSmoke) {
+  {
+    ArgvFixture args({"bench", "--jobs=3", "--smoke"});
+    BenchFlags flags = ParseFlags(args.argc(), args.argv());
+    EXPECT_TRUE(flags.smoke);
+    EXPECT_EQ(flags.jobs, 3);
+  }
+  {
+    ArgvFixture args({"bench", "--jobs", "5"});
+    BenchFlags flags = ParseFlags(args.argc(), args.argv());
+    EXPECT_FALSE(flags.smoke);
+    EXPECT_EQ(flags.jobs, 5);
+  }
+}
+
+TEST(BenchFlagsTest, IgnoresUnknownAndMalformedArguments) {
+  ArgvFixture args({"bench", "--jobs=-2", "--jobs", "zero", "--other=1"});
+  BenchFlags flags = ParseFlags(args.argc(), args.argv());
+  EXPECT_EQ(flags.jobs, 0);
+  EXPECT_FALSE(flags.smoke);
+}
+
+TEST(BenchFlagsTest, FlagBeatsEnvironment) {
+  ScopedEnv env("ITRIM_THREADS", "7");
+  ArgvFixture args({"bench", "--jobs", "2"});
+  BenchFlags flags = ParseFlags(args.argc(), args.argv());
+  EXPECT_EQ(EffectiveJobs(flags), 2);
+}
+
+TEST(BenchFlagsTest, EnvironmentBeatsHardwareWhenFlagAbsent) {
+  ScopedEnv env("ITRIM_THREADS", "7");
+  ArgvFixture args({"bench"});
+  BenchFlags flags = ParseFlags(args.argc(), args.argv());
+  EXPECT_EQ(EffectiveJobs(flags), 7);
+}
+
+TEST(BenchFlagsTest, HardwareIsTheLastResort) {
+  ScopedEnv env("ITRIM_THREADS", nullptr);
+  ArgvFixture args({"bench"});
+  BenchFlags flags = ParseFlags(args.argc(), args.argv());
+  EXPECT_EQ(EffectiveJobs(flags), DefaultNumThreads());
+  EXPECT_GE(EffectiveJobs(flags), 1);
+}
+
+TEST(BenchEnvTest, EnvIntAndScaleParseWithFallbacks) {
+  {
+    ScopedEnv env("ITRIM_TEST_KNOB", "41");
+    EXPECT_EQ(EnvInt("ITRIM_TEST_KNOB", 7), 41);
+  }
+  {
+    ScopedEnv env("ITRIM_TEST_KNOB", nullptr);
+    EXPECT_EQ(EnvInt("ITRIM_TEST_KNOB", 7), 7);
+  }
+  {
+    ScopedEnv env("ITRIM_TEST_KNOB", "0.25");
+    EXPECT_DOUBLE_EQ(EnvScale("ITRIM_TEST_KNOB", 1.0), 0.25);
+  }
+  {
+    // Out-of-range scales fall back rather than distorting a bench grid.
+    ScopedEnv env("ITRIM_TEST_KNOB", "3.5");
+    EXPECT_DOUBLE_EQ(EnvScale("ITRIM_TEST_KNOB", 1.0), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace itrim::bench

@@ -1,0 +1,132 @@
+// Tests of the BENCH_<name>.json reporter (src/bench/reporter.h): case
+// bookkeeping, derived rates, escaping, the output-directory knob, and the
+// measurement loop discipline it feeds from.
+#include "bench/reporter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/measure.h"
+#include "gtest/gtest.h"
+
+namespace itrim::bench {
+namespace {
+
+BenchFlags FlagsFor(std::vector<std::string> argv_strings) {
+  BenchFlags flags;
+  flags.argv = std::move(argv_strings);
+  return flags;
+}
+
+TEST(BenchReporterTest, JsonCarriesSchemaContextAndCases) {
+  BenchFlags flags = FlagsFor({"bench_x", "--smoke"});
+  flags.smoke = true;
+  flags.jobs = 2;
+  BenchReporter reporter("x", flags);
+  reporter.AddCase("alpha")
+      .Iterations(4)
+      .Ops(4000)
+      .WallMs(20.0)
+      .Allocations(0)
+      .Counter("tenants", 1000);
+  reporter.AddCase("gate_only").Ok();
+
+  std::string json = reporter.ToJson();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"smoke\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  // 4000 ops over 20 ms: 5000 ns/op, 200000 ops/s.
+  EXPECT_NE(json.find("\"ns_per_op\": 5000"), std::string::npos);
+  EXPECT_NE(json.find("\"ops_per_sec\": 200000"), std::string::npos);
+  EXPECT_NE(json.find("\"allocations\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"allocs_per_op\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"tenants\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"pass\": 1"), std::string::npos);
+}
+
+TEST(BenchReporterTest, EscapesStringsAndOmitsRatesWithoutTiming) {
+  BenchReporter reporter("esc", FlagsFor({"a\"b\\c"}));
+  reporter.AddCase("quote\"case").Ok();
+  std::string json = reporter.ToJson();
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"case"), std::string::npos);
+  // A correctness-only case has no timing: no derived rate keys at all.
+  EXPECT_EQ(json.find("ns_per_op"), std::string::npos);
+  EXPECT_EQ(json.find("ops_per_sec"), std::string::npos);
+}
+
+TEST(BenchReporterTest, WritesToOutDirOverride) {
+  std::string dir = ::testing::TempDir();
+  setenv("ITRIM_BENCH_OUT_DIR", dir.c_str(), 1);
+  BenchReporter reporter("outdir_probe", FlagsFor({"bench"}));
+  reporter.AddCase("only").Ok();
+  Status status = reporter.WriteJson();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  std::string expected_prefix = dir;
+  if (!expected_prefix.empty() && expected_prefix.back() != '/') {
+    expected_prefix += '/';
+  }
+  // output_path() re-reads the env on every call, so check before unset.
+  EXPECT_EQ(reporter.output_path(),
+            expected_prefix + "BENCH_outdir_probe.json");
+  unsetenv("ITRIM_BENCH_OUT_DIR");
+  std::ifstream in(expected_prefix + "BENCH_outdir_probe.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("\"bench\": \"outdir_probe\""),
+            std::string::npos);
+  std::remove((expected_prefix + "BENCH_outdir_probe.json").c_str());
+}
+
+TEST(BenchMeasureTest, MeasureLoopHonorsFloorsAndCountsIterations) {
+  MeasureOptions options;
+  options.warmup_iters = 1;
+  options.min_iters = 5;
+  options.min_time_ms = 0.0;
+  options.repetitions = 2;
+  int calls = 0;
+  Measurement m = MeasureLoop(options, [&] { ++calls; });
+  EXPECT_GE(m.iterations, 5u);
+  // warmup + two repetitions of >= 5.
+  EXPECT_GE(calls, 11);
+  EXPECT_GE(m.wall_ms, 0.0);
+}
+
+TEST(BenchMeasureTest, MeasureLoopCountsAllocations) {
+  MeasureOptions options;
+  options.warmup_iters = 0;
+  options.min_iters = 3;
+  options.min_time_ms = 0.0;
+  Measurement with_allocs = MeasureLoop(options, [] {
+    std::vector<double> v(256, 1.0);
+    (void)v;
+  });
+  EXPECT_GE(with_allocs.allocs.allocations, 3u);
+
+  Measurement without_allocs = MeasureLoop(options, [] {
+    volatile double x = 1.0;
+    (void)x;
+  });
+  EXPECT_EQ(without_allocs.allocs.allocations, 0u);
+}
+
+TEST(BenchReporterTest, MeasureCaseRecordsDerivedOps) {
+  BenchReporter reporter("measured", FlagsFor({"bench"}));
+  MeasureOptions options;
+  options.warmup_iters = 0;
+  options.min_iters = 2;
+  options.min_time_ms = 0.0;
+  BenchCase& c = reporter.MeasureCase("case", options, 100, [] {});
+  EXPECT_GE(c.iterations, 2u);
+  EXPECT_EQ(c.ops, c.iterations * 100);
+  EXPECT_TRUE(c.has_allocations);
+}
+
+}  // namespace
+}  // namespace itrim::bench

@@ -134,6 +134,73 @@ double OracleRank(const PublicBoard& board, double x) {
   return PercentileRankSorted(sorted, x);
 }
 
+// Free-list pool stress: Reserve() then long erase/insert churn at a fixed
+// multiset size, the steady state of a capacity-bounded reservoir. Every
+// erase feeds the node pool the next insert must drain, so any free-list
+// corruption (stale links, double reuse, count drift) surfaces as a
+// divergence from the sorted oracle replayed alongside.
+TEST(IndexedBoardTest, PooledChurnMatchesSortedOracleBitForBit) {
+  IndexedBoard board;
+  board.Reserve(256);
+  std::vector<double> oracle;
+  Rng rng(9001);
+  for (int i = 0; i < 256; ++i) {
+    double v = rng.Uniform(-3.0, 3.0);
+    if (rng.Bernoulli(0.25)) v = std::round(v);  // duplicate pressure
+    board.Insert(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  for (int cycle = 0; cycle < 4000; ++cycle) {
+    // Erase one existing value (by rank, so duplicates are hit too)...
+    size_t victim_rank = static_cast<size_t>(rng.UniformInt(oracle.size()));
+    double victim = oracle[static_cast<size_t>(victim_rank)];
+    ASSERT_TRUE(board.EraseOne(victim));
+    oracle.erase(oracle.begin() + static_cast<long>(victim_rank));
+    // ...then insert a fresh one through the recycled node.
+    double v = rng.Uniform(-3.0, 3.0);
+    if (rng.Bernoulli(0.25)) v = std::round(v);
+    board.Insert(v);
+    oracle.insert(std::upper_bound(oracle.begin(), oracle.end(), v), v);
+
+    ASSERT_EQ(board.size(), oracle.size());
+    if (cycle % 7 == 0) {
+      size_t k = static_cast<size_t>(rng.UniformInt(oracle.size()));
+      ASSERT_EQ(board.Kth(k), oracle[k]) << "cycle " << cycle;
+      double q = rng.Uniform();
+      ASSERT_EQ(board.Quantile(q).ValueOrDie(), QuantileSorted(oracle, q))
+          << "cycle " << cycle;
+      double x = rng.Uniform(-3.5, 3.5);
+      ASSERT_EQ(board.PercentileRank(x), PercentileRankSorted(oracle, x))
+          << "cycle " << cycle;
+    }
+  }
+}
+
+// Clear() must reset the pool cleanly: a reused board is indistinguishable
+// from a fresh one under the same op stream.
+TEST(IndexedBoardTest, ClearResetsPoolForBitIdenticalReuse) {
+  IndexedBoard reused;
+  Rng fill(31337);
+  for (int i = 0; i < 500; ++i) reused.Insert(fill.Uniform());
+  reused.Clear();
+  EXPECT_EQ(reused.size(), 0u);
+
+  IndexedBoard fresh;
+  Rng a(555), b(555);
+  for (int i = 0; i < 300; ++i) {
+    double va = a.Uniform(-1.0, 1.0);
+    double vb = b.Uniform(-1.0, 1.0);
+    reused.Insert(va);
+    fresh.Insert(vb);
+  }
+  ASSERT_EQ(reused.size(), fresh.size());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_EQ(reused.Quantile(q).ValueOrDie(),
+              fresh.Quantile(q).ValueOrDie());
+  }
+}
+
 class PublicBoardOracleTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(PublicBoardOracleTest, InterleavedStreamMatchesSortedOracle) {

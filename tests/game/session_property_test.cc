@@ -85,15 +85,18 @@ class PropertyHarness {
       : pool_(UniformPool(3000, 5)), data_(MakeControl(35, 60)) {}
 
   template <typename Body>
-  void WithSession(const TrialSetup& trial, Body body) {
+  void WithSession(const TrialSetup& trial, Body body,
+                   bool retain_survivors = true) {
     SchemeInstance scheme = MakeScheme(trial.scheme, trial.config.tth);
     if (trial.kind == DataKind::kScalar) {
       IdentityScoreModel model(&pool_);
+      model.set_retain_survivors(retain_survivors);
       TrimmingSession session(trial.config, &model, scheme.collector.get(),
                               scheme.adversary.get(), scheme.quality.get());
       body(&session);
     } else {
       DistanceScoreModel model(&data_);
+      model.set_retain_survivors(retain_survivors);
       TrimmingSession session(trial.config, &model, scheme.collector.get(),
                               scheme.adversary.get(), scheme.quality.get());
       body(&session);
@@ -207,6 +210,33 @@ TEST_P(SessionPropertyTest, CheckpointAtEveryRoundResumesBitIdentically) {
         ExpectSummaryBitIdentical(reference, session->Finish());
       });
     }
+  }
+}
+
+// The retained-survivor store is an output sink, never an input: switching
+// it off (the streaming/fleet mode) must leave every record of the game
+// bit-identical.
+TEST_P(SessionPropertyTest, RetentionToggleNeverChangesRecords) {
+  Rng rng(GetParam() == DataKind::kScalar ? 905 : 906);
+  const int kTrials = GetParam() == DataKind::kScalar ? 12 : 8;
+  for (int t = 0; t < kTrials; ++t) {
+    TrialSetup trial = DrawTrial(&rng, GetParam());
+    SCOPED_TRACE(trial.Describe());
+
+    GameSummary retaining, streaming;
+    harness_.WithSession(
+        trial,
+        [&](TrimmingSession* session) {
+          retaining = session->RunToCompletion().ValueOrDie();
+        },
+        /*retain_survivors=*/true);
+    harness_.WithSession(
+        trial,
+        [&](TrimmingSession* session) {
+          streaming = session->RunToCompletion().ValueOrDie();
+        },
+        /*retain_survivors=*/false);
+    ExpectSummaryBitIdentical(retaining, streaming);
   }
 }
 

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_<name>.json telemetry.
+
+Compares a freshly emitted bench report against a checked-in baseline
+(bench/baselines/) and fails when a shared case regresses:
+
+  * throughput (ops_per_sec) below (1 - tolerance) x baseline, for cases
+    the baseline marks gated (see below);
+  * allocations above the baseline for cases whose baseline allocation
+    count is zero — the zero-allocation steady-state contract is
+    machine-independent, so it is enforced exactly, with no tolerance;
+  * a gated baseline case missing from the current report (a silently
+    dropped bench would otherwise "pass" forever).
+
+Which cases gate throughput is controlled by the baseline file itself: a
+case gates iff it carries timing (ops > 0 and wall_ms > 0). Correctness
+cases (pass = 1, no timing) only gate on presence.
+
+Absolute throughput differs across machines, so the default tolerance is
+deliberately loose (35%) — the gate exists to catch step-change
+regressions (an accidental O(n^2), a reintroduced per-round allocation),
+not 5% noise; the nightly trend over artifact history covers the fine
+grain. Override with --tolerance or ITRIM_BENCH_GATE_TOLERANCE.
+
+Baseline update procedure (see README "Benchmarking & perf telemetry"):
+rerun the bench on the reference machine, eyeball the diff, and copy the
+fresh BENCH_<name>.json over bench/baselines/ in the same PR that changes
+the performance.
+
+Uses only the Python standard library.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version "
+                 f"{report.get('schema_version')!r}")
+    return report
+
+
+def cases_by_name(report):
+    return {case["name"]: case for case in report.get("cases", [])}
+
+
+def gates_throughput(case):
+    return case.get("ops", 0) > 0 and case.get("wall_ms", 0) > 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_<name>.json to gate against")
+    parser.add_argument("--current", required=True,
+                        help="freshly emitted BENCH_<name>.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("ITRIM_BENCH_GATE_TOLERANCE", "0.35")),
+        help="allowed fractional throughput regression (default 0.35)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline.get("bench") != current.get("bench"):
+        sys.exit(f"bench name mismatch: baseline {baseline.get('bench')!r} "
+                 f"vs current {current.get('bench')!r}")
+
+    base_cases = cases_by_name(baseline)
+    cur_cases = cases_by_name(current)
+    failures = []
+    checked = 0
+
+    for name, base in sorted(base_cases.items()):
+        cur = cur_cases.get(name)
+        if cur is None:
+            failures.append(f"case {name!r}: present in baseline, missing "
+                            "from current report")
+            continue
+        if gates_throughput(base):
+            checked += 1
+            base_rate = base["ops"] / (base["wall_ms"] / 1e3)
+            if not gates_throughput(cur):
+                failures.append(f"case {name!r}: baseline has timing, "
+                                "current does not")
+                continue
+            cur_rate = cur["ops"] / (cur["wall_ms"] / 1e3)
+            floor = base_rate * (1.0 - args.tolerance)
+            verdict = "ok" if cur_rate >= floor else "REGRESSION"
+            print(f"{name}: {cur_rate:,.0f} ops/s vs baseline "
+                  f"{base_rate:,.0f} (floor {floor:,.0f}) -> {verdict}")
+            if cur_rate < floor:
+                failures.append(
+                    f"case {name!r}: throughput {cur_rate:,.0f} ops/s below "
+                    f"floor {floor:,.0f} (baseline {base_rate:,.0f}, "
+                    f"tolerance {args.tolerance:.0%})")
+        if base.get("allocations") == 0:
+            checked += 1
+            cur_allocs = cur.get("allocations")
+            if cur_allocs is None or cur_allocs > 0:
+                failures.append(
+                    f"case {name!r}: baseline is allocation-free, current "
+                    f"reports {cur_allocs!r} allocations — the zero-alloc "
+                    "steady-state contract broke")
+            else:
+                print(f"{name}: steady-state allocations 0 -> ok")
+
+    if checked == 0:
+        failures.append("baseline contains no gateable cases — refusing to "
+                        "pass vacuously")
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} problem(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {checked} check(s) against "
+          f"{os.path.basename(args.baseline)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
