@@ -1,0 +1,246 @@
+// Microbench + exactness harness for the ScoreModel v2 batched scoring
+// path (ScoreInto over the dispatched kernels, game/kernels.h).
+//
+// Per model kind (identity / distance / LDP reports) this binary
+//
+//   1. asserts the batched ScoreInto is bit-identical to the retained
+//      ScoreIntoScalar reference (checksummed over the whole workload, and
+//      across both kernel variants when the CPU has AVX2), and
+//   2. times ns/op of both paths on a large observation batch, reporting
+//      each as a BENCH_micro_score.json case for the perf gate.
+//
+// The non-smoke mode additionally asserts the DistanceScoreModel batch
+// path is at least 1.5x faster than the scalar reference — the headline
+// claim of the v2 redesign on this box. `--smoke` runs the exactness
+// phase plus scaled-down timings (registered with ctest as
+// bench/bench_micro_score_smoke).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "game/kernels.h"
+#include "game/public_board.h"
+#include "game/score_model.h"
+#include "ldp/attacks.h"
+#include "ldp/mechanism.h"
+#include "ldp/report_score_model.h"
+
+#include "bench/env.h"
+#include "bench/flags.h"
+#include "bench/reporter.h"
+
+namespace itrim {
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct Timing {
+  double ns_per_obs = std::numeric_limits<double>::infinity();
+  uint64_t checksum = 0;
+};
+
+// Times one chunk of `n` full-batch scoring sweeps of `obs` through
+// `score`, min-updating `t->ns_per_obs` and folding every produced double
+// into `t->checksum` so the compiler cannot elide the work and the
+// batch/scalar paths can be compared bit for bit. The fold is an XOR of
+// the raw bit patterns rather than an FP sum: it costs no serial FP
+// latency inside the timed region (a sequential double sum adds ~4
+// cycles/element to BOTH paths, compressing the measured ratio) and still
+// pins every output bit.
+template <typename ScoreFn>
+void TimeChunk(ScoreFn score, std::span<const double> obs, size_t count,
+               size_t n, Timing* t) {
+  std::vector<double> out(count);
+  auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < n; ++r) {
+    if (!score(obs, std::span<double>(out))) {
+      std::fprintf(stderr, "FAIL: scoring call errored\n");
+      std::exit(1);
+    }
+    uint64_t fold = 0;
+    for (double v : out) {
+      uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      fold ^= bits;
+    }
+    t->checksum ^= fold + r;  // rep index keeps repeated sweeps visible
+  }
+  auto stop = std::chrono::steady_clock::now();
+  const double ns =
+      std::chrono::duration<double, std::nano>(stop - start).count() /
+      static_cast<double>(n * count);
+  if (ns < t->ns_per_obs) t->ns_per_obs = ns;
+}
+
+struct ModelRun {
+  double scalar_ns = 0.0;
+  double batch_ns = 0.0;
+  double speedup = 0.0;
+};
+
+// Runs the exactness + timing comparison for one model over one flat
+// observation batch. Exits non-zero on any bitwise divergence.
+ModelRun RunModel(const ScoreModel& model, const char* label,
+                  std::span<const double> obs, size_t count, size_t reps,
+                  bench::BenchReporter* reporter) {
+  auto batch = [&model](std::span<const double> o, std::span<double> out) {
+    return model.ScoreInto(o, out).ok();
+  };
+  auto scalar = [&model](std::span<const double> o, std::span<double> out) {
+    return model.ScoreIntoScalar(o, out).ok();
+  };
+
+  // Exactness first: one sweep of each path, compared element-wise, under
+  // every available kernel variant.
+  std::vector<double> batch_out(count), scalar_out(count);
+  const kernels::Variant variants[] = {kernels::Variant::kGeneric,
+                                       kernels::Variant::kVector};
+  for (kernels::Variant variant : variants) {
+    if (variant == kernels::Variant::kVector && !kernels::VectorAvailable()) {
+      continue;
+    }
+    kernels::ForceVariant(variant);
+    if (!batch(obs, batch_out) || !scalar(obs, scalar_out)) {
+      std::fprintf(stderr, "FAIL[%s]: scoring call errored\n", label);
+      std::exit(1);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (!BitEqual(batch_out[i], scalar_out[i])) {
+        std::fprintf(stderr,
+                     "FAIL[%s/%s]: batch diverged from scalar at obs %zu "
+                     "(%.17g vs %.17g)\n",
+                     label, kernels::VariantName(variant), i, batch_out[i],
+                     scalar_out[i]);
+        std::exit(1);
+      }
+    }
+  }
+  kernels::ResetVariant();
+
+  // The two paths are timed in ALTERNATING chunks, and each path's ns/op
+  // is the minimum over its chunks. Alternation makes the pair see the
+  // same interference regime (timing them back to back lets a noisy
+  // window land on just one path and skew the ratio); the minimum is the
+  // standard estimator of true cost under scheduler/steal noise on a
+  // shared box. Every rep of both paths still runs and feeds its
+  // checksum, so the bit comparison covers the full workload.
+  Timing ts, tb;
+  const size_t chunks = std::min<size_t>(reps, 16);
+  const size_t per_chunk = reps / chunks;
+  size_t done = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t n = c + 1 == chunks ? reps - done : per_chunk;
+    TimeChunk(scalar, obs, count, n, &ts);
+    TimeChunk(batch, obs, count, n, &tb);
+    done += n;
+  }
+  if (ts.checksum != tb.checksum) {
+    std::fprintf(stderr,
+                 "FAIL[%s]: timed checksums diverged (%016llx vs %016llx)\n",
+                 label, static_cast<unsigned long long>(ts.checksum),
+                 static_cast<unsigned long long>(tb.checksum));
+    std::exit(1);
+  }
+
+  ModelRun run;
+  run.scalar_ns = ts.ns_per_obs;
+  run.batch_ns = tb.ns_per_obs;
+  run.speedup = ts.ns_per_obs / tb.ns_per_obs;
+  std::printf("%-10s scalar %8.2f ns/obs   batch %8.2f ns/obs   (%.2fx, "
+              "%s kernels)\n",
+              label, run.scalar_ns, run.batch_ns, run.speedup,
+              kernels::VariantName(kernels::ActiveVariant()));
+  const uint64_t ops = static_cast<uint64_t>(reps * count);
+  reporter->AddCase(std::string(label) + "_scalar")
+      .Iterations(static_cast<uint64_t>(reps))
+      .Ops(ops)
+      .WallMs(run.scalar_ns * static_cast<double>(ops) / 1e6);
+  reporter->AddCase(std::string(label) + "_batch")
+      .Iterations(static_cast<uint64_t>(reps))
+      .Ops(ops)
+      .WallMs(run.batch_ns * static_cast<double>(ops) / 1e6)
+      .Counter("batch_speedup", run.speedup);
+  return run;
+}
+
+}  // namespace
+}  // namespace itrim
+
+int main(int argc, char** argv) {
+  using namespace itrim;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  bench::BenchReporter reporter("micro_score", flags);
+  const bool smoke = flags.smoke;
+  const size_t count = static_cast<size_t>(
+      bench::EnvInt("ITRIM_BENCH_OBS", smoke ? 2000 : 20000));
+  // Smoke still needs enough reps per timed chunk that the sub-ns/op cases
+  // (identity/ldp batch are ~a memcpy) measure above timer granularity.
+  const size_t reps = static_cast<size_t>(
+      bench::EnvInt("ITRIM_BENCH_REPS", smoke ? 100 : 100));
+
+  std::printf("kernel dispatch: %s (AVX2 %savailable), %zu obs x %zu reps\n\n",
+              kernels::VariantName(kernels::ActiveVariant()),
+              kernels::VectorAvailable() ? "" : "not ", count, reps);
+
+  Rng rng(0xBE9C4ULL);
+
+  // Identity: scores are the values; both paths are a copy.
+  std::vector<double> pool(2000);
+  for (double& v : pool) v = rng.Uniform();
+  IdentityScoreModel identity(&pool);
+  if (!identity.BeginRun().ok()) return 1;
+  std::vector<double> scalar_obs(count);
+  for (double& v : scalar_obs) v = rng.Uniform(-5.0, 5.0);
+  RunModel(identity, "identity", scalar_obs, count, reps, &reporter);
+
+  // LDP reports: scores are the reports.
+  PiecewiseMechanism mechanism(2.0);
+  InputManipulationAttack attack(1.0);
+  LdpReportScoreModel ldp(&pool, &mechanism, &attack, 0.9);
+  RunModel(ldp, "ldp", scalar_obs, count, reps, &reporter);
+
+  // Distance: d-dimensional rows through the PositionMap geometry — the
+  // kernel-backed sweep the 1.5x gate is about. Scored in round-sized
+  // batches (a game round hands the model hundreds to a few thousand rows,
+  // not tens of thousands) with the rep count scaled up to keep total ops
+  // comparable. This also keeps the working set L2-resident: at 20k rows x
+  // 60 dims the sweep is DRAM-bandwidth bound and measures the memory bus,
+  // not the scoring paths.
+  const size_t row_count = static_cast<size_t>(
+      bench::EnvInt("ITRIM_BENCH_ROWS", smoke ? 500 : 1000));
+  const size_t row_reps = reps * std::max<size_t>(count / row_count, 1);
+  Dataset data = MakeControl(35, 60);
+  DistanceScoreModel distance(&data);
+  PublicBoard board;
+  Rng boot_rng(55);
+  if (!distance.BeginRun().ok() ||
+      !distance.Bootstrap(200, &boot_rng, &board).ok()) {
+    std::fprintf(stderr, "FAIL: distance bootstrap errored\n");
+    return 1;
+  }
+  const size_t dims = data.dims();
+  std::vector<double> row_obs(row_count * dims);
+  for (size_t i = 0; i < row_count; ++i) {
+    const auto& row = data.rows[rng.UniformInt(data.rows.size())];
+    std::copy(row.begin(), row.end(),
+              row_obs.begin() + static_cast<ptrdiff_t>(i * dims));
+  }
+  ModelRun dist_run =
+      RunModel(distance, "distance", row_obs, row_count, row_reps, &reporter);
+
+  if (!smoke && dist_run.speedup < 1.5) {
+    std::fprintf(stderr, "FAIL: expected >= 1.5x batch speedup for the "
+                         "distance model, got %.2fx\n",
+                 dist_run.speedup);
+    return 1;
+  }
+  return reporter.WriteJson().ok() ? 0 : 1;
+}

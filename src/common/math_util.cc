@@ -2,21 +2,19 @@
 
 #include <cassert>
 
+#include "game/kernels.h"
+
 namespace itrim {
 
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b) {
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  // The canonical distance is the kernel's fixed 4-lane association (see
+  // game/kernels.h); every call site — scalar scoring, PositionMap
+  // geometry, batched ScoreInto — therefore agrees bit for bit.
+  return kernels::SquaredDistance(a.data(), b.data(), a.size());
 }
 
-double EuclideanDistance(const std::vector<double>& a,
-                         const std::vector<double>& b) {
+double EuclideanDistance(std::span<const double> a, std::span<const double> b) {
   return std::sqrt(SquaredDistance(a, b));
 }
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace itrim {
@@ -20,13 +21,13 @@ inline bool AlmostEqual(double a, double b, double atol = 1e-9,
   return std::fabs(a - b) <= atol + rtol * std::max(std::fabs(a), std::fabs(b));
 }
 
-/// \brief Squared Euclidean distance between equal-length vectors.
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b);
+/// \brief Squared Euclidean distance between equal-length spans, in the
+/// library's canonical fixed 4-lane association (game/kernels.h) so scalar
+/// and batched evaluations produce bit-identical doubles.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
 
-/// \brief Euclidean distance between equal-length vectors.
-double EuclideanDistance(const std::vector<double>& a,
-                         const std::vector<double>& b);
+/// \brief Euclidean distance between equal-length spans.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
 
 /// \brief Euclidean norm of a vector.
 double Norm(const std::vector<double>& v);

@@ -218,7 +218,7 @@ Status SessionFleet::Restore(const FleetCheckpoint& checkpoint) {
   }
   // Lockstep stepping means every session must carry exactly the rounds
   // the fleet played; a checkpoint violating that (hand-edited, corrupted,
-  // or from a non-lockstep source) would index past records() below.
+  // or from a non-lockstep source) would index past round_log() below.
   if (checkpoint.next_round < 1) {
     return Status::InvalidArgument("checkpoint next_round must be >= 1");
   }
@@ -294,7 +294,7 @@ void SessionFleet::RebuildAggregates() {
   std::vector<RoundRecord> row(tenants_.size());
   for (size_t r = 0; r < rounds_played; ++r) {
     for (size_t i = 0; i < tenants_.size(); ++i) {
-      row[i] = tenants_[i].session->records()[r];
+      row[i] = tenants_[i].session->round_log().Get(r);
     }
     round_aggregates_.push_back(ReduceRound(static_cast<int>(r) + 1, row));
   }

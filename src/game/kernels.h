@@ -1,0 +1,92 @@
+// Batched scoring kernels behind the ScoreModel v2 hot path.
+//
+// Every per-observation loop the round protocol runs at scale — distance
+// evaluation, tail counting, trim masking — lives here as a free function
+// over raw spans, compiled twice from one shared body (kernels_impl.inc):
+//
+//  * generic  — the portable baseline, default optimization flags;
+//  * vector   — the same translation unit built with auto-vectorization
+//               (-O3 -ftree-vectorize and, on x86-64, -mavx2), selected at
+//               runtime only when the CPU reports AVX2.
+//
+// The dispatch shim guarantees *bit-identical doubles* from both variants,
+// which is what lets the engine's bit-identity suites (legacy replicas,
+// session property suites, board fuzz) gate a SIMD rollout at all. The
+// contract rests on three rules, enforced by construction:
+//
+//  1. Fixed association. FP reductions use four independent accumulator
+//     lanes over strided indices, combined as (a0 + a1) + (a2 + a3) — the
+//     same IEEE operation sequence whether the lanes live in scalar
+//     registers or one SIMD register. (For n <= 4 the lane order degenerates
+//     to the sequential sum, so tiny vectors keep their historical values.)
+//  2. No contraction. Both variants compile with -ffp-contract=off and
+//     without -mfma, so a mul+add never fuses into an FMA on one side only.
+//  3. Exact operations elsewhere. Comparisons, integer counts and
+//     correctly-rounded sqrt are bitwise variant-independent by IEEE 754.
+//
+// Order-sensitive sequential sums (e.g. the LDP tail-mean signal) are *not*
+// kernels on purpose: vectorizing them would require reassociation.
+#ifndef ITRIM_GAME_KERNELS_H_
+#define ITRIM_GAME_KERNELS_H_
+
+#include <cstddef>
+
+namespace itrim::kernels {
+
+/// \brief Writes keep[i] = 1 iff !(values[i] > cutoff) (NaN kept, matching
+/// the engine's legacy trim semantics); returns the kept count.
+size_t MaskAtMost(const double* values, size_t n, double cutoff, char* keep);
+
+/// \brief Writes keep[i] = 1 iff !(values[i] > hi || values[i] < lo) (the
+/// LDP symmetric band; NaN kept); returns the kept count.
+size_t MaskInBand(const double* values, size_t n, double lo, double hi,
+                  char* keep);
+
+/// \brief Number of values strictly above `cutoff`.
+size_t CountGreater(const double* values, size_t n, double cutoff);
+
+/// \brief Number of values at or above `cutoff`.
+size_t CountAtLeast(const double* values, size_t n, double cutoff);
+
+/// \brief Squared Euclidean distance in the canonical 4-lane association
+/// (lane k accumulates indices congruent to k mod 4; lanes combine as
+/// (a0 + a1) + (a2 + a3)). This IS the library-wide distance definition:
+/// common/math_util.h delegates here, so scalar call sites and batched
+/// kernels agree bit for bit.
+double SquaredDistance(const double* a, const double* b, size_t n);
+
+/// \brief out[r] = Euclidean distance of row r to `center` for `n_rows`
+/// contiguous rows of width `dims` (row-major). sqrt is correctly rounded,
+/// so the batch is bitwise-identical to per-row scalar evaluation.
+void DistancesToCenter(const double* rows, size_t n_rows, size_t dims,
+                       const double* center, double* out);
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch control (tests and benches force variants; production
+// code never needs to).
+// ---------------------------------------------------------------------------
+
+enum class Variant {
+  kGeneric = 0,  ///< portable build, always present
+  kVector = 1,   ///< auto-vectorized build, used when the CPU allows it
+};
+
+/// \brief True when the vector build may run on this CPU (x86-64 with AVX2).
+bool VectorAvailable();
+
+/// \brief Variant the free functions above currently dispatch to.
+Variant ActiveVariant();
+
+/// \brief Human-readable variant name ("generic" / "vector").
+const char* VariantName(Variant variant);
+
+/// \brief Test hook: pins dispatch to `variant`. Forcing kVector on a CPU
+/// without AVX2 support is ignored (the generic build stays active).
+void ForceVariant(Variant variant);
+
+/// \brief Returns dispatch to runtime auto-detection.
+void ResetVariant();
+
+}  // namespace itrim::kernels
+
+#endif  // ITRIM_GAME_KERNELS_H_

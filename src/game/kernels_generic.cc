@@ -1,0 +1,6 @@
+// Portable kernel build: default optimization, no ISA extensions beyond the
+// project baseline. CMake compiles this TU with -ffp-contract=off so the
+// doubles match the vector build (see kernels.h for the full contract).
+#define ITRIM_KERNEL_NAMESPACE generic
+#include "game/kernels_impl.inc"
+#undef ITRIM_KERNEL_NAMESPACE

@@ -1,0 +1,8 @@
+// Auto-vectorized kernel build: the same bodies as kernels_generic.cc,
+// compiled with -O3 -ftree-vectorize (plus -mavx2 on x86-64) and
+// -ffp-contract=off — see CMakeLists.txt. The runtime dispatcher only
+// selects this variant when the CPU reports AVX2, so emitting AVX2 code
+// here is safe even on baseline-x86-64 deployments.
+#define ITRIM_KERNEL_NAMESPACE vectorized
+#include "game/kernels_impl.inc"
+#undef ITRIM_KERNEL_NAMESPACE

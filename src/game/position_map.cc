@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "game/kernels.h"
 #include "stats/quantile.h"
 
 namespace itrim {
@@ -62,7 +63,40 @@ Result<PositionMap> PositionMap::Build(
   for (size_t j = 0; j < dims; ++j) {
     map.quantile_direction_[j] = (qvec[j] - map.centroid_[j]) / norm;
   }
+  map.BuildInversionIndex();
   return map;
+}
+
+void PositionMap::BuildInversionIndex() {
+  inv_bucket_start_.clear();
+  inv_bucket_scale_ = 0.0;
+  const double d_lo = grid_distance_.front();
+  const double d_hi = grid_distance_.back();
+  if (!(d_hi > d_lo)) return;  // flat grid: the search branch is unreachable
+  inv_bucket_scale_ = static_cast<double>(kInvBuckets) / (d_hi - d_lo);
+  inv_bucket_start_.resize(kInvBuckets);
+  for (size_t b = 0; b < kInvBuckets; ++b) {
+    const double edge =
+        d_lo + static_cast<double>(b) / inv_bucket_scale_;
+    const auto it = std::lower_bound(grid_distance_.begin(),
+                                     grid_distance_.end(), edge);
+    inv_bucket_start_[b] =
+        static_cast<uint32_t>(it - grid_distance_.begin());
+  }
+}
+
+size_t PositionMap::UpperKnot(double distance) const {
+  // Bucket the query, then walk to the exact lower_bound. The walk is what
+  // makes the accelerator exact: a start index perturbed by FP rounding of
+  // the bucket edges still converges to the same knot a binary search
+  // returns, and with ~5 buckets per knot it is almost always 0 steps.
+  size_t b = static_cast<size_t>((distance - grid_distance_.front()) *
+                                 inv_bucket_scale_);
+  if (b >= inv_bucket_start_.size()) b = inv_bucket_start_.size() - 1;
+  size_t hi = inv_bucket_start_[b];
+  while (hi > 0 && grid_distance_[hi - 1] >= distance) --hi;
+  while (grid_distance_[hi] < distance) ++hi;
+  return hi;
 }
 
 double PositionMap::DistanceAt(double position) const {
@@ -92,33 +126,81 @@ double PositionMap::PositionOf(double distance) const {
   if (distance >= d_hi) {
     return 1.0 + (distance - d_hi) / d_hi;
   }
-  // Binary search the monotone grid, then invert the linear segment.
-  auto it = std::lower_bound(grid_distance_.begin(), grid_distance_.end(),
-                             distance);
-  size_t hi = static_cast<size_t>(it - grid_distance_.begin());
+  // Locate the monotone grid segment (O(1) bucket accelerator, exact
+  // lower_bound semantics), then invert the linear piece.
+  size_t hi = UpperKnot(distance);
   size_t lo = hi == 0 ? 0 : hi - 1;
   double span = grid_distance_[hi] - grid_distance_[lo];
   double frac = span > 0.0 ? (distance - grid_distance_[lo]) / span : 0.0;
   return kGridLo + (static_cast<double>(lo) + frac) * kGridStep;
 }
 
-double PositionMap::PositionOfRow(const std::vector<double>& row) const {
+double PositionMap::PositionOfRow(std::span<const double> row) const {
   return PositionOf(EuclideanDistance(row, centroid_));
 }
 
+void PositionMap::PositionsOfRows(std::span<const double> rows, size_t n_rows,
+                                  std::span<double> out) const {
+  assert(rows.size() == n_rows * centroid_.size());
+  assert(out.size() >= n_rows);
+  // One batched distance sweep, then the grid inversion: sqrt is
+  // correctly rounded and the kernel shares the canonical lane order with
+  // EuclideanDistance, so this matches per-row PositionOfRow bit for bit.
+  kernels::DistancesToCenter(rows.data(), n_rows, centroid_.size(),
+                             centroid_.data(), out.data());
+  // The inversion is PositionOf with the grid/bucket state hoisted out of
+  // the per-row call: same branches, same arithmetic, same bits. In the
+  // interior branch hi >= 1 always (grid[0] = d_lo < distance), so the
+  // hi == 0 guard of PositionOf is dropped rather than re-checked.
+  const double d_lo = grid_distance_.front();
+  const double d_hi = grid_distance_.back();
+  const double* grid = grid_distance_.data();
+  const uint32_t* buckets = inv_bucket_start_.data();
+  const size_t n_buckets = inv_bucket_start_.size();
+  const double scale = inv_bucket_scale_;
+  for (size_t r = 0; r < n_rows; ++r) {
+    const double distance = out[r];
+    if (distance <= d_lo) {
+      out[r] = d_lo > 0.0 ? kGridLo * distance / d_lo : 0.0;
+    } else if (distance >= d_hi) {
+      out[r] = 1.0 + (distance - d_hi) / d_hi;
+    } else {
+      size_t b = static_cast<size_t>((distance - d_lo) * scale);
+      if (b >= n_buckets) b = n_buckets - 1;
+      size_t hi = buckets[b];
+      while (hi > 0 && grid[hi - 1] >= distance) --hi;
+      while (grid[hi] < distance) ++hi;
+      const size_t lo = hi - 1;
+      const double span = grid[hi] - grid[lo];
+      const double frac = span > 0.0 ? (distance - grid[lo]) / span : 0.0;
+      out[r] = kGridLo + (static_cast<double>(lo) + frac) * kGridStep;
+    }
+  }
+}
+
 std::vector<double> PositionMap::MakePoint(
-    double position, const std::vector<double>& direction) const {
+    double position, std::span<const double> direction) const {
   std::vector<double> out;
   MakePointInto(position, direction, &out);
   return out;
 }
 
 void PositionMap::MakePointInto(double position,
-                                const std::vector<double>& direction,
+                                std::span<const double> direction,
                                 std::vector<double>* out) const {
+  out->resize(centroid_.size());
+  MakePointInto(position, direction, std::span<double>(*out));
+}
+
+void PositionMap::MakePointInto(double position,
+                                std::span<const double> direction,
+                                std::span<double> out) const {
   assert(direction.size() == centroid_.size());
-  out->assign(centroid_.begin(), centroid_.end());
-  Axpy(DistanceAt(position), direction, out);
+  assert(out.size() == centroid_.size());
+  const double scale = DistanceAt(position);
+  for (size_t j = 0; j < centroid_.size(); ++j) {
+    out[j] = centroid_[j] + scale * direction[j];
+  }
 }
 
 }  // namespace itrim

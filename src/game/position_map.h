@@ -23,6 +23,8 @@
 #ifndef ITRIM_GAME_POSITION_MAP_H_
 #define ITRIM_GAME_POSITION_MAP_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -54,16 +56,27 @@ class PositionMap {
   double PositionOf(double distance) const;
 
   /// \brief Position score of a row (its centroid distance, inverted).
-  double PositionOfRow(const std::vector<double>& row) const;
+  double PositionOfRow(std::span<const double> row) const;
+
+  /// \brief Batched PositionOfRow over `n_rows` contiguous rows of width
+  /// centroid().size() (row-major): one kernel sweep for the distances,
+  /// then the grid inversion per row. Bit-identical to per-row scoring.
+  void PositionsOfRows(std::span<const double> rows, size_t n_rows,
+                       std::span<double> out) const;
 
   /// \brief Fabricates a row at `position` along `direction` (unit vector):
   /// centroid + DistanceAt(position) * direction.
   std::vector<double> MakePoint(double position,
-                                const std::vector<double>& direction) const;
+                                std::span<const double> direction) const;
 
   /// \brief MakePoint into caller-owned storage (resized, capacity reused).
-  void MakePointInto(double position, const std::vector<double>& direction,
+  void MakePointInto(double position, std::span<const double> direction,
                      std::vector<double>* out) const;
+
+  /// \brief MakePoint into a preallocated row of width centroid().size()
+  /// (the SoA row-pool shape; no resizing, no allocation).
+  void MakePointInto(double position, std::span<const double> direction,
+                     std::span<double> out) const;
 
   /// \brief Unit direction of the upper quantile vector q(0.95) - centroid:
   /// the data-meaningful "all features high" direction a colluding adversary
@@ -79,10 +92,28 @@ class PositionMap {
  private:
   static constexpr double kGridLo = 0.5;
   static constexpr double kGridStep = 0.005;
+  /// Bucket count of the inversion accelerator (~5x the knot count, so a
+  /// bucket rarely spans more than one knot).
+  static constexpr size_t kInvBuckets = 512;
+
+  /// \brief Index of the first grid knot >= `distance` (the lower_bound
+  /// the inversion interpolates at). O(1) via the bucket accelerator; the
+  /// index is an exact integer, so the accelerated search is bitwise
+  /// equivalent to a plain binary search by construction.
+  size_t UpperKnot(double distance) const;
+
+  /// \brief Populates the bucket accelerator from the finished grid.
+  void BuildInversionIndex();
 
   std::vector<double> centroid_;
   std::vector<double> quantile_direction_;
   std::vector<double> grid_distance_;  // D(a) at a = kGridLo + i*kGridStep
+  /// Inversion accelerator: bucket b (uniform over [D(lo), D(hi)]) maps to
+  /// a starting knot near lower_bound(bucket lower edge); a query lands in
+  /// its bucket with one multiply and walks at most a knot or two. Empty
+  /// when the grid is flat (the search branch is then unreachable).
+  std::vector<uint32_t> inv_bucket_start_;
+  double inv_bucket_scale_ = 0.0;
 };
 
 }  // namespace itrim

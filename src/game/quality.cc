@@ -4,24 +4,30 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "game/kernels.h"
 
 namespace itrim {
 
 namespace {
 
 // Fraction of `values` strictly above `cutoff`.
-double FractionAbove(const std::vector<double>& values, double cutoff) {
+double FractionAbove(std::span<const double> values, double cutoff) {
   if (values.empty()) return 0.0;
-  size_t count = 0;
-  for (double v : values) {
-    if (v > cutoff) ++count;
-  }
+  size_t count = kernels::CountGreater(values.data(), values.size(), cutoff);
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+// Fraction of `values` at or above `cutoff` (atoms at the cutoff included:
+// poison injected exactly at a band edge must count toward that band).
+double FractionAtOrAbove(std::span<const double> values, double cutoff) {
+  if (values.empty()) return 0.0;
+  size_t count = kernels::CountAtLeast(values.data(), values.size(), cutoff);
   return static_cast<double>(count) / static_cast<double>(values.size());
 }
 
 }  // namespace
 
-double TailMassQuality::Evaluate(const std::vector<double>& round_values,
+double TailMassQuality::Evaluate(std::span<const double> round_values,
                                  const PublicBoard& board) {
   auto q = board.Quantile(tth_);
   if (!q.ok()) return 1.0;  // no reference yet: assume clean
@@ -30,22 +36,7 @@ double TailMassQuality::Evaluate(const std::vector<double>& round_values,
   return Clamp(1.0 - std::max(0.0, observed - expected), 0.0, 1.0);
 }
 
-namespace {
-
-// Fraction of `values` at or above `cutoff` (atoms at the cutoff included:
-// poison injected exactly at a band edge must count toward that band).
-double FractionAtOrAbove(const std::vector<double>& values, double cutoff) {
-  if (values.empty()) return 0.0;
-  size_t count = 0;
-  for (double v : values) {
-    if (v >= cutoff) ++count;
-  }
-  return static_cast<double>(count) / static_cast<double>(values.size());
-}
-
-}  // namespace
-
-double DefectShareQuality::Evaluate(const std::vector<double>& round_values,
+double DefectShareQuality::Evaluate(std::span<const double> round_values,
                                     const PublicBoard& board) {
   if (round_values.empty() || board.size() == 0) return 1.0;
   double lo_cut, hi_cut, expected_band, expected_tail;
@@ -100,7 +91,7 @@ NoisyDefectShareQuality::NoisyDefectShareQuality(
       sigma_tail_(sigma_tail), rng_(seed) {}
 
 double NoisyDefectShareQuality::Evaluate(
-    const std::vector<double>& round_values, const PublicBoard& board) {
+    std::span<const double> round_values, const PublicBoard& board) {
   double q = inner_.Evaluate(round_values, board);
   // Estimation noise grows with the equilibrium-tail share (q itself): mass
   // deep in the sparse tail is pinned down by very few benign observations.

@@ -9,6 +9,7 @@
 #define ITRIM_GAME_QUALITY_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,7 @@ class QualityEvaluation {
 
   /// \brief Quality in [0, 1] of `round_values` given the reference `board`;
   /// higher is better.
-  virtual double Evaluate(const std::vector<double>& round_values,
+  virtual double Evaluate(std::span<const double> round_values,
                           const PublicBoard& board) = 0;
 
   /// \brief Human-readable evaluator name.
@@ -39,7 +40,7 @@ class QualityEvaluation {
 class TailMassQuality : public QualityEvaluation {
  public:
   explicit TailMassQuality(double tth) : tth_(tth) {}
-  double Evaluate(const std::vector<double>& round_values,
+  double Evaluate(std::span<const double> round_values,
                   const PublicBoard& board) override;
   std::string name() const override { return "tail_mass"; }
 
@@ -71,7 +72,7 @@ class DefectShareQuality : public QualityEvaluation {
   DefectShareQuality(double band_lo, double band_hi,
                      CutoffMode mode = CutoffMode::kBoardQuantile)
       : band_lo_(band_lo), band_hi_(band_hi), mode_(mode) {}
-  double Evaluate(const std::vector<double>& round_values,
+  double Evaluate(std::span<const double> round_values,
                   const PublicBoard& board) override;
   std::string name() const override { return "defect_share"; }
 
@@ -98,7 +99,7 @@ class NoisyDefectShareQuality : public QualityEvaluation {
       uint64_t seed,
       DefectShareQuality::CutoffMode mode =
           DefectShareQuality::CutoffMode::kBoardQuantile);
-  double Evaluate(const std::vector<double>& round_values,
+  double Evaluate(std::span<const double> round_values,
                   const PublicBoard& board) override;
   std::string name() const override { return "noisy_defect_share"; }
 

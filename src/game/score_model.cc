@@ -4,14 +4,9 @@
 #include <cmath>
 #include <utility>
 
-namespace itrim {
+#include "game/kernels.h"
 
-Result<TrimOutcome> ScoreModel::TrimAtReference(double percentile,
-                                                const PublicBoard& board) {
-  TrimOutcome out;
-  ITRIM_RETURN_NOT_OK(TrimAtReferenceInto(percentile, board, &out));
-  return out;
-}
+namespace itrim {
 
 size_t ScoreModel::PoisonCount(const GameConfig& config, double* quota) const {
   // Fractional poison accrues across rounds so that tiny attack ratios
@@ -20,6 +15,47 @@ size_t ScoreModel::PoisonCount(const GameConfig& config, double* quota) const {
   const size_t count = static_cast<size_t>(*quota);
   *quota -= static_cast<double>(count);
   return count;
+}
+
+Status ScoreModel::AppendPoisonBatch(std::span<const double> positions,
+                                     Rng* rng, const PublicBoard& board) {
+  // Default: the per-observation hook in a loop — identical RNG order, so
+  // overriding this is only ever a dispatch-count optimization.
+  for (double position : positions) {
+    ITRIM_RETURN_NOT_OK(AppendPoison(position, rng, board));
+  }
+  return Status::OK();
+}
+
+Status ScoreModel::CheckScoreSpans(std::span<const double> obs,
+                                   std::span<double> out) const {
+  const size_t width = ObsWidth();
+  if (width == 0) {
+    return Status::FailedPrecondition("model has no observation width yet");
+  }
+  if (obs.size() != out.size() * width) {
+    return Status::InvalidArgument(
+        "obs span holds " + std::to_string(obs.size()) + " doubles; " +
+        std::to_string(out.size()) + " scores of width " +
+        std::to_string(width) + " need " +
+        std::to_string(out.size() * width));
+  }
+  return Status::OK();
+}
+
+Status ScoreModel::ScoreInto(std::span<const double> obs,
+                             std::span<double> out) const {
+  return ScoreIntoScalar(obs, out);
+}
+
+Status ScoreModel::ScoreIntoScalar(std::span<const double> obs,
+                                   std::span<double> out) const {
+  ITRIM_RETURN_NOT_OK(CheckScoreSpans(obs, out));
+  const size_t width = ObsWidth();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = ScoreObservation(obs.subspan(i * width, width));
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -53,13 +89,19 @@ void IdentityScoreModel::BeginRound(size_t expected) {
   is_poison_.reserve(expected);
 }
 
-void IdentityScoreModel::AppendBenign(size_t count, Rng* rng) {
+void IdentityScoreModel::AppendBenignBatch(size_t count, Rng* rng) {
   index_scratch_.resize(count);
   rng->FillUniformInt(benign_pool_->size(), index_scratch_.data(), count);
   for (size_t i = 0; i < count; ++i) {
     values_.push_back((*benign_pool_)[index_scratch_[i]]);
     is_poison_.push_back(0);
   }
+}
+
+Status IdentityScoreModel::AppendBenignBatch(std::span<const double> obs) {
+  values_.insert(values_.end(), obs.begin(), obs.end());
+  is_poison_.insert(is_poison_.end(), obs.size(), 0);
+  return Status::OK();
 }
 
 Status IdentityScoreModel::AppendPoison(double position, Rng* /*rng*/,
@@ -72,15 +114,27 @@ Status IdentityScoreModel::AppendPoison(double position, Rng* /*rng*/,
   return Status::OK();
 }
 
-Status IdentityScoreModel::TrimAtReferenceInto(double percentile,
-                                               const PublicBoard& board,
-                                               TrimOutcome* out) {
+double IdentityScoreModel::ScoreObservation(std::span<const double> obs) const {
+  // Scalar setting: the value IS the score.
+  return obs[0];
+}
+
+Status IdentityScoreModel::ScoreInto(std::span<const double> obs,
+                                     std::span<double> out) const {
+  ITRIM_RETURN_NOT_OK(CheckScoreSpans(obs, out));
+  std::copy(obs.begin(), obs.end(), out.begin());
+  return Status::OK();
+}
+
+Status IdentityScoreModel::TrimAtReference(double percentile,
+                                           const PublicBoard& board,
+                                           TrimOutcome* out) {
   ITRIM_ASSIGN_OR_RETURN(double cutoff, board.Quantile(percentile));
   TrimAboveValueInto(values_, cutoff, out);
   return Status::OK();
 }
 
-void IdentityScoreModel::Commit(const std::vector<char>& keep) {
+void IdentityScoreModel::Commit(std::span<const char> keep) {
   if (!retain_survivors_) return;
   for (size_t i = 0; i < values_.size(); ++i) {
     if (keep[i]) {
@@ -102,6 +156,8 @@ Status DistanceScoreModel::BeginRun() {
     return Status::FailedPrecondition("source dataset is empty");
   }
   labeled_ = source_->labeled();
+  dims_ = source_->dims();
+  poison_row_scratch_.resize(dims_);
   retained_ = Dataset{};
   retained_.name = source_->name + "/retained";
   retained_.num_clusters = source_->num_clusters;
@@ -121,13 +177,27 @@ Status DistanceScoreModel::Bootstrap(size_t bootstrap_size, Rng* rng,
   }
   ITRIM_ASSIGN_OR_RETURN(position_map_, PositionMap::Build(bootstrap));
   centroid_ = position_map_.centroid();
-  for (const auto& row : bootstrap) {
-    board->RecordOne(position_map_.PositionOfRow(row));
+  // Board seeding and the source-score cache both run through the batched
+  // kernel sweep; the doubles match per-row scoring exactly (the kernel
+  // shares the canonical distance with PositionOfRow).
+  std::vector<double> flat(bootstrap_size * dims_);
+  for (size_t i = 0; i < bootstrap_size; ++i) {
+    std::copy(bootstrap[i].begin(), bootstrap[i].end(),
+              flat.begin() + static_cast<ptrdiff_t>(i * dims_));
   }
-  source_scores_.resize(source_->rows.size());
-  for (size_t i = 0; i < source_->rows.size(); ++i) {
-    source_scores_[i] = position_map_.PositionOfRow(source_->rows[i]);
+  std::vector<double> positions(bootstrap_size);
+  position_map_.PositionsOfRows(flat, bootstrap_size, positions);
+  for (double p : positions) {
+    board->RecordOne(p);
   }
+  const size_t n_source = source_->rows.size();
+  flat.resize(n_source * dims_);
+  for (size_t i = 0; i < n_source; ++i) {
+    std::copy(source_->rows[i].begin(), source_->rows[i].end(),
+              flat.begin() + static_cast<ptrdiff_t>(i * dims_));
+  }
+  source_scores_.resize(n_source);
+  position_map_.PositionsOfRows(flat, n_source, source_scores_);
   return Status::OK();
 }
 
@@ -136,17 +206,17 @@ void DistanceScoreModel::BeginRound(size_t expected) {
   labels_.clear();
   scores_.clear();
   is_poison_.clear();
-  rows_.reserve(expected);
   scores_.reserve(expected);
   is_poison_.reserve(expected);
 }
 
-std::vector<double>* DistanceScoreModel::NextRowSlot() {
-  if (rows_used_ == rows_.size()) rows_.emplace_back();
-  return &rows_[rows_used_++];
+std::span<double> DistanceScoreModel::NextRowSlot() {
+  const size_t needed = (rows_used_ + 1) * dims_;
+  if (row_data_.size() < needed) row_data_.resize(needed);
+  return std::span<double>(row_data_.data() + rows_used_++ * dims_, dims_);
 }
 
-void DistanceScoreModel::AppendBenign(size_t count, Rng* rng) {
+void DistanceScoreModel::AppendBenignBatch(size_t count, Rng* rng) {
   index_scratch_.resize(count);
   rng->FillUniformInt(source_->rows.size(), index_scratch_.data(), count);
   for (size_t i = 0; i < count; ++i) {
@@ -155,12 +225,41 @@ void DistanceScoreModel::AppendBenign(size_t count, Rng* rng) {
       // Rows are only ever consumed by Commit(); a streaming session that
       // retains nothing never materializes them.
       const std::vector<double>& src = source_->rows[idx];
-      NextRowSlot()->assign(src.begin(), src.end());
+      std::span<double> slot = NextRowSlot();
+      std::copy(src.begin(), src.end(), slot.begin());
     }
     if (labeled_) labels_.push_back(source_->labels[idx]);
     scores_.push_back(source_scores_[idx]);
     is_poison_.push_back(0);
   }
+}
+
+Status DistanceScoreModel::AppendBenignBatch(std::span<const double> obs) {
+  if (dims_ == 0) {
+    return Status::FailedPrecondition("model is not bootstrapped");
+  }
+  if (labeled_) {
+    return Status::FailedPrecondition(
+        "labeled sources cannot ingest external rows (no labels attached)");
+  }
+  if (obs.size() % dims_ != 0) {
+    return Status::InvalidArgument("obs span is not a whole number of rows");
+  }
+  const size_t n = obs.size() / dims_;
+  if (retain_survivors_) {
+    for (size_t i = 0; i < n; ++i) {
+      std::span<double> slot = NextRowSlot();
+      std::copy(obs.begin() + static_cast<ptrdiff_t>(i * dims_),
+                obs.begin() + static_cast<ptrdiff_t>((i + 1) * dims_),
+                slot.begin());
+    }
+  }
+  const size_t old = scores_.size();
+  scores_.resize(old + n);
+  position_map_.PositionsOfRows(obs, n,
+                                std::span<double>(scores_).subspan(old));
+  is_poison_.insert(is_poison_.end(), n, 0);
+  return Status::OK();
 }
 
 void DistanceScoreModel::PrepareInjection(Rng* rng) {
@@ -183,8 +282,8 @@ Status DistanceScoreModel::AppendPoison(double position, Rng* rng,
   // Poison rows are freshly fabricated, so their scores are computed on
   // arrival either way; only the destination differs (a retained-round
   // slot vs a reused scratch row).
-  std::vector<double>* row =
-      retain_survivors_ ? NextRowSlot() : &poison_row_scratch_;
+  std::span<double> row =
+      retain_survivors_ ? NextRowSlot() : std::span<double>(poison_row_scratch_);
   position_map_.MakePointInto(position, direction_, row);
   if (labeled_) {
     // Opportunistic label claims: drawn at random per value, which plants
@@ -194,24 +293,41 @@ Status DistanceScoreModel::AppendPoison(double position, Rng* rng,
     labels_.push_back(static_cast<int>(
         rng->UniformInt(std::max<size_t>(1, source_->num_clusters))));
   }
-  scores_.push_back(position_map_.PositionOfRow(*row));
+  scores_.push_back(position_map_.PositionOfRow(row));
   is_poison_.push_back(1);
   return Status::OK();
 }
 
-Status DistanceScoreModel::TrimAtReferenceInto(double percentile,
-                                               const PublicBoard& /*board*/,
-                                               TrimOutcome* out) {
+size_t DistanceScoreModel::ObsWidth() const {
+  if (dims_ > 0) return dims_;
+  return source_ != nullptr ? source_->dims() : 0;
+}
+
+double DistanceScoreModel::ScoreObservation(std::span<const double> obs) const {
+  return position_map_.PositionOfRow(obs);
+}
+
+Status DistanceScoreModel::ScoreInto(std::span<const double> obs,
+                                     std::span<double> out) const {
+  ITRIM_RETURN_NOT_OK(CheckScoreSpans(obs, out));
+  position_map_.PositionsOfRows(obs, out.size(), out);
+  return Status::OK();
+}
+
+Status DistanceScoreModel::TrimAtReference(double percentile,
+                                           const PublicBoard& /*board*/,
+                                           TrimOutcome* out) {
   // Positions *are* percentiles: the threshold applies directly.
   TrimAboveValueInto(scores_, percentile, out);
   return Status::OK();
 }
 
-void DistanceScoreModel::Commit(const std::vector<char>& keep) {
+void DistanceScoreModel::Commit(std::span<const char> keep) {
   if (!retain_survivors_) return;
   for (size_t i = 0; i < rows_used_; ++i) {
     if (keep[i]) {
-      retained_.rows.push_back(std::move(rows_[i]));
+      const double* row = row_data_.data() + i * dims_;
+      retained_.rows.emplace_back(row, row + dims_);
       if (labeled_) retained_.labels.push_back(labels_[i]);
       retained_is_poison_.push_back(is_poison_[i]);
     }

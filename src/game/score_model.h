@@ -17,11 +17,21 @@
 //
 // A ScoreModel plugs into TrimmingSession (game/session.h), which owns the
 // round loop. Models also own the retained (sanitized) output of a run.
+//
+// v2 API shape: the engine makes one virtual call per round, not one per
+// observation. Payloads live in flat structure-of-arrays storage (a round
+// is `n * ObsWidth()` contiguous doubles), accessors hand out spans over
+// that storage, and scoring is a batched `ScoreInto` backed by the
+// dispatched kernels (game/kernels.h). The scalar path is retained as
+// `ScoreObservation` / `ScoreIntoScalar` — both the definitional reference
+// the differential bit-identity tests pit the batch against and the
+// fallback for models without a batch kernel.
 #ifndef ITRIM_GAME_SCORE_MODEL_H_
 #define ITRIM_GAME_SCORE_MODEL_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,7 +48,7 @@ namespace itrim {
 /// \brief Data-setting plugin of the TrimmingSession round loop.
 ///
 /// The engine drives one model through a fixed sequence per round:
-/// BeginRound → AppendBenign → PrepareInjection → AppendPoison (×k) →
+/// BeginRound → AppendBenignBatch → PrepareInjection → poison appends →
 /// scores()/is_poison() → TrimAtReference (unless keep-all / round-mass) →
 /// Commit. Implementations must consume the engine RNG only inside these
 /// hooks, in this order — the batch adapters' bit-identity guarantee rests
@@ -70,8 +80,16 @@ class ScoreModel {
   /// \brief Starts an empty round buffer (`expected` is a reserve hint).
   virtual void BeginRound(size_t expected) = 0;
 
-  /// \brief Appends `count` benign payloads drawn from the data source.
-  virtual void AppendBenign(size_t count, Rng* rng) = 0;
+  /// \brief Appends `count` benign payloads drawn from the data source —
+  /// one virtual call for the whole arrival batch.
+  virtual void AppendBenignBatch(size_t count, Rng* rng) = 0;
+
+  /// \brief Appends externally supplied benign payloads: `obs` holds
+  /// `obs.size() / ObsWidth()` flat observations, scored through the
+  /// batched kernel path. This is the ingest surface a serving deployment
+  /// (or the planned federated workload) feeds real client data through;
+  /// the draw-from-source overload above is the simulation shape.
+  virtual Status AppendBenignBatch(std::span<const double> obs) = 0;
 
   /// \brief Round-level injection setup (e.g. the colluding adversaries'
   /// shared direction). Called once per round, after the benign arrivals,
@@ -92,15 +110,52 @@ class ScoreModel {
   /// \brief Materializes one poison payload at board-percentile `position`
   /// (NaN when the session runs without an AdversaryStrategy — only
   /// reachable for models with RequiresAdversaryPositions() == false).
+  ///
+  /// Stays per-observation by design: adversary strategies may draw RNG
+  /// inside InjectionPercentile(), so position draws and the model's own
+  /// poison draws interleave on one stream; batching them would reorder
+  /// the draws and break bit-identity with the seed games.
   virtual Status AppendPoison(double position, Rng* rng,
                               const PublicBoard& board) = 0;
 
-  /// \brief Scores of the current round (benign then poison, arrival
-  /// order), in the shared percentile-comparable coordinate.
-  virtual const std::vector<double>& scores() const = 0;
+  /// \brief Appends one poison payload per entry of `positions` in one
+  /// virtual call. The engine uses this only when no AdversaryStrategy is
+  /// interleaving RNG draws (positions are then all NaN); the default
+  /// loops AppendPoison, so overriding is an optimization, never a
+  /// semantic change.
+  virtual Status AppendPoisonBatch(std::span<const double> positions,
+                                   Rng* rng, const PublicBoard& board);
 
-  /// \brief Poison flags parallel to scores().
-  virtual const std::vector<char>& is_poison() const = 0;
+  /// \brief Scores of the current round (benign then poison, arrival
+  /// order), in the shared percentile-comparable coordinate. A view into
+  /// model-owned storage, valid until the next mutating call.
+  virtual std::span<const double> scores() const = 0;
+
+  /// \brief Poison flags parallel to scores(); same view lifetime.
+  virtual std::span<const char> is_poison() const = 0;
+
+  /// \brief Doubles per flat observation payload (1 for scalar settings,
+  /// the row width for the distance setting).
+  virtual size_t ObsWidth() const { return 1; }
+
+  /// \brief Scores one flat observation payload of ObsWidth() doubles.
+  /// This is the model's scoring *definition*; ScoreInto must match it bit
+  /// for bit.
+  virtual double ScoreObservation(std::span<const double> obs) const = 0;
+
+  /// \brief Batched scoring: `obs` holds `out.size()` flat observations of
+  /// ObsWidth() doubles each; writes one score per observation. The
+  /// default loops ScoreObservation; models with a vectorizable transform
+  /// override with a kernel sweep (bit-identical by the kernels.h
+  /// contract).
+  virtual Status ScoreInto(std::span<const double> obs,
+                           std::span<double> out) const;
+
+  /// \brief The retained scalar reference path: always loops
+  /// ScoreObservation, never kernels. Differential tests pit ScoreInto
+  /// against this; benches use it as the pre-batching baseline.
+  Status ScoreIntoScalar(std::span<const double> obs,
+                         std::span<double> out) const;
 
   /// \brief Injection position entered into the round record and the
   /// observations. Defaults to the adversary's realized mean; models whose
@@ -115,17 +170,12 @@ class ScoreModel {
   /// engine), writing the outcome into caller-owned storage. `out`'s keep
   /// mask is overwritten in place so a warm TrimOutcome keeps the round
   /// loop allocation-free.
-  virtual Status TrimAtReferenceInto(double percentile,
-                                     const PublicBoard& board,
-                                     TrimOutcome* out) = 0;
-
-  /// \brief Convenience wrapper over TrimAtReferenceInto for batch callers.
-  Result<TrimOutcome> TrimAtReference(double percentile,
-                                      const PublicBoard& board);
+  virtual Status TrimAtReference(double percentile, const PublicBoard& board,
+                                 TrimOutcome* out) = 0;
 
   /// \brief Moves the round's survivors (per keep mask) into the retained
   /// store (no-op while retain_survivors() is off).
-  virtual void Commit(const std::vector<char>& keep) = 0;
+  virtual void Commit(std::span<const char> keep) = 0;
 
   /// \brief Controls the retained (sanitized) output store. The batch game
   /// adapters keep it on — their product IS the retained data — but a
@@ -139,6 +189,10 @@ class ScoreModel {
   bool retain_survivors() const { return retain_survivors_; }
 
  protected:
+  /// \brief Shared argument check for ScoreInto/ScoreIntoScalar.
+  Status CheckScoreSpans(std::span<const double> obs,
+                         std::span<double> out) const;
+
   bool retain_survivors_ = true;
 };
 
@@ -154,14 +208,18 @@ class IdentityScoreModel : public ScoreModel {
   Status Bootstrap(size_t bootstrap_size, Rng* rng,
                    PublicBoard* board) override;
   void BeginRound(size_t expected) override;
-  void AppendBenign(size_t count, Rng* rng) override;
+  void AppendBenignBatch(size_t count, Rng* rng) override;
+  Status AppendBenignBatch(std::span<const double> obs) override;
   Status AppendPoison(double position, Rng* rng,
                       const PublicBoard& board) override;
-  const std::vector<double>& scores() const override { return values_; }
-  const std::vector<char>& is_poison() const override { return is_poison_; }
-  Status TrimAtReferenceInto(double percentile, const PublicBoard& board,
-                             TrimOutcome* out) override;
-  void Commit(const std::vector<char>& keep) override;
+  std::span<const double> scores() const override { return values_; }
+  std::span<const char> is_poison() const override { return is_poison_; }
+  double ScoreObservation(std::span<const double> obs) const override;
+  Status ScoreInto(std::span<const double> obs,
+                   std::span<double> out) const override;
+  Status TrimAtReference(double percentile, const PublicBoard& board,
+                         TrimOutcome* out) override;
+  void Commit(std::span<const char> keep) override;
 
   /// \brief Retained values accumulated since BeginRun().
   const std::vector<double>& retained() const { return retained_; }
@@ -181,6 +239,11 @@ class IdentityScoreModel : public ScoreModel {
 
 /// \brief Multi-dimensional setting: rows scored by PositionMap percentile
 /// positions; poison fabricated along a shared per-round direction.
+///
+/// Round rows live in one flat structure-of-arrays pool (`row_data_`,
+/// row-major, ObsWidth() doubles per row) so the batched distance kernel
+/// streams them without pointer chasing and a warm round reuses the pool
+/// without touching the heap.
 class DistanceScoreModel : public ScoreModel {
  public:
   /// `source` is borrowed; provides benign rows (labels kept when present).
@@ -192,18 +255,23 @@ class DistanceScoreModel : public ScoreModel {
   Status Bootstrap(size_t bootstrap_size, Rng* rng,
                    PublicBoard* board) override;
   void BeginRound(size_t expected) override;
-  void AppendBenign(size_t count, Rng* rng) override;
+  void AppendBenignBatch(size_t count, Rng* rng) override;
+  Status AppendBenignBatch(std::span<const double> obs) override;
   void PrepareInjection(Rng* rng) override;
   /// Positions above 1 extrapolate beyond the observed domain (the
   /// adversary may fabricate values outside it).
   double InjectionCap() const override { return 1.5; }
   Status AppendPoison(double position, Rng* rng,
                       const PublicBoard& board) override;
-  const std::vector<double>& scores() const override { return scores_; }
-  const std::vector<char>& is_poison() const override { return is_poison_; }
-  Status TrimAtReferenceInto(double percentile, const PublicBoard& board,
-                             TrimOutcome* out) override;
-  void Commit(const std::vector<char>& keep) override;
+  std::span<const double> scores() const override { return scores_; }
+  std::span<const char> is_poison() const override { return is_poison_; }
+  size_t ObsWidth() const override;
+  double ScoreObservation(std::span<const double> obs) const override;
+  Status ScoreInto(std::span<const double> obs,
+                   std::span<double> out) const override;
+  Status TrimAtReference(double percentile, const PublicBoard& board,
+                         TrimOutcome* out) override;
+  void Commit(std::span<const char> keep) override;
 
   /// \brief Survivor rows + labels accumulated since BeginRun() (poison
   /// rows carry adversary-chosen labels).
@@ -219,16 +287,16 @@ class DistanceScoreModel : public ScoreModel {
   const PositionMap& position_map() const { return position_map_; }
 
  private:
-  /// Next reusable round-row slot: rows_ is a pool that only grows, and
-  /// rows_used_ counts the slots the current round occupies, so a warm
-  /// round re-fills existing inner vectors instead of allocating fresh
-  /// ones. (Commit() may move survivors out when retaining; the vacated
-  /// slots then re-grow on the next fill, which is the retaining mode's
-  /// price, not the streaming steady state's.)
-  std::vector<double>* NextRowSlot();
+  /// Next reusable round-row slot in the flat pool: row_data_ only grows,
+  /// and rows_used_ counts the slots the current round occupies, so a warm
+  /// round re-fills existing storage instead of allocating. (Rows are only
+  /// materialized when retaining; a streaming session that retains nothing
+  /// never touches the pool for benign arrivals.)
+  std::span<double> NextRowSlot();
 
   const Dataset* source_;
   bool labeled_ = false;
+  size_t dims_ = 0;
   PositionMap position_map_;
   std::vector<double> centroid_;
   std::vector<double> direction_;
@@ -239,7 +307,7 @@ class DistanceScoreModel : public ScoreModel {
   /// exact same computation — bit-identical to scoring on arrival).
   std::vector<double> source_scores_;
   std::vector<double> poison_row_scratch_;  ///< poison row when not retaining
-  std::vector<std::vector<double>> rows_;
+  std::vector<double> row_data_;  ///< flat SoA row pool, rows_used_ x dims_
   size_t rows_used_ = 0;
   std::vector<uint64_t> index_scratch_;  ///< batched benign-draw indices
   std::vector<int> labels_;

@@ -25,6 +25,69 @@ Status GameConfig::Validate() const {
   return Status::OK();
 }
 
+void RoundLog::Clear() {
+  round_.clear();
+  collector_percentile_.clear();
+  injection_percentile_.clear();
+  cutoff_.clear();
+  quality_.clear();
+  benign_received_.clear();
+  poison_received_.clear();
+  benign_kept_.clear();
+  poison_kept_.clear();
+}
+
+void RoundLog::Reserve(size_t n) {
+  round_.reserve(n);
+  collector_percentile_.reserve(n);
+  injection_percentile_.reserve(n);
+  cutoff_.reserve(n);
+  quality_.reserve(n);
+  benign_received_.reserve(n);
+  poison_received_.reserve(n);
+  benign_kept_.reserve(n);
+  poison_kept_.reserve(n);
+}
+
+void RoundLog::Append(const RoundRecord& record) {
+  round_.push_back(record.round);
+  collector_percentile_.push_back(record.collector_percentile);
+  injection_percentile_.push_back(record.injection_percentile);
+  cutoff_.push_back(record.cutoff);
+  quality_.push_back(record.quality);
+  benign_received_.push_back(record.benign_received);
+  poison_received_.push_back(record.poison_received);
+  benign_kept_.push_back(record.benign_kept);
+  poison_kept_.push_back(record.poison_kept);
+}
+
+void RoundLog::Assign(const std::vector<RoundRecord>& records) {
+  Clear();
+  Reserve(records.size());
+  for (const RoundRecord& record : records) Append(record);
+}
+
+RoundRecord RoundLog::Get(size_t i) const {
+  RoundRecord record;
+  record.round = round_[i];
+  record.collector_percentile = collector_percentile_[i];
+  record.injection_percentile = injection_percentile_[i];
+  record.cutoff = cutoff_[i];
+  record.quality = quality_[i];
+  record.benign_received = benign_received_[i];
+  record.poison_received = poison_received_[i];
+  record.benign_kept = benign_kept_[i];
+  record.poison_kept = poison_kept_[i];
+  return record;
+}
+
+std::vector<RoundRecord> RoundLog::ToVector() const {
+  std::vector<RoundRecord> out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) out.push_back(Get(i));
+  return out;
+}
+
 double GameSummary::UntrimmedPoisonFraction() const {
   size_t kept = TotalKept();
   if (kept == 0) return 0.0;
@@ -163,11 +226,11 @@ Status TrimmingSession::Bootstrap() {
   have_prev_ = false;
   poison_quota_ = 0.0;
   next_round_ = 1;
-  records_.clear();
+  records_.Clear();
   // Pre-size the per-round book so steady-state Steps within the
   // configured horizon never reallocate it (open-ended streams beyond
   // config().rounds fall back to amortized growth).
-  records_.reserve(static_cast<size_t>(config_.rounds));
+  records_.Reserve(static_cast<size_t>(config_.rounds));
   bootstrapped_ = true;
   return Status::OK();
 }
@@ -185,17 +248,28 @@ Result<RoundRecord> TrimmingSession::Step() {
 
   // Arrivals: benign data, then poison at percentile positions.
   model_->BeginRound(config_.round_size + poison_count);
-  model_->AppendBenign(config_.round_size, &rng_);
+  model_->AppendBenignBatch(config_.round_size, &rng_);
   model_->PrepareInjection(&rng_);
   double injection_sum = 0.0;
-  for (size_t i = 0; i < poison_count; ++i) {
-    double a = std::nan("");
-    if (adversary_ != nullptr) {
-      a = adversary_->InjectionPercentile(ctx, &rng_);
+  if (adversary_ == nullptr) {
+    // No adversary interleaves RNG draws with the model's poison draws, so
+    // the whole head goes over in one virtual call (positions are NaN —
+    // only models that materialize poison autonomously reach this path).
+    if (poison_count > 0) {
+      poison_pos_scratch_.assign(poison_count, std::nan(""));
+      ITRIM_RETURN_NOT_OK(
+          model_->AppendPoisonBatch(poison_pos_scratch_, &rng_, board_));
+    }
+  } else {
+    // Position-guided poison stays per-observation: the adversary may draw
+    // RNG inside InjectionPercentile(), and those draws interleave with
+    // the model's own poison draws on one stream (bit-identity contract).
+    for (size_t i = 0; i < poison_count; ++i) {
+      double a = adversary_->InjectionPercentile(ctx, &rng_);
       a = Clamp(a, 0.0, model_->InjectionCap());
       injection_sum += a;
+      ITRIM_RETURN_NOT_OK(model_->AppendPoison(a, &rng_, board_));
     }
-    ITRIM_RETURN_NOT_OK(model_->AppendPoison(a, &rng_, board_));
   }
   double injection_mean =
       (adversary_ != nullptr && poison_count > 0)
@@ -203,8 +277,8 @@ Result<RoundRecord> TrimmingSession::Step() {
           : std::nan("");
   injection_mean = model_->InjectionSignal(board_, injection_mean);
 
-  const std::vector<double>& scores = model_->scores();
-  const std::vector<char>& is_poison = model_->is_poison();
+  const std::span<const double> scores = model_->scores();
+  const std::span<const char> is_poison = model_->is_poison();
 
   // Quality is assessed on the received (pre-trim) round.
   double quality_score =
@@ -222,7 +296,7 @@ Result<RoundRecord> TrimmingSession::Step() {
                         &outcome);
   } else {
     ITRIM_RETURN_NOT_OK(
-        model_->TrimAtReferenceInto(trim_percentile, board_, &outcome));
+        model_->TrimAtReference(trim_percentile, board_, &outcome));
   }
 
   RoundRecord record;
@@ -247,7 +321,7 @@ Result<RoundRecord> TrimmingSession::Step() {
     }
   }
   model_->Commit(outcome.keep);
-  records_.push_back(record);
+  records_.Append(record);
 
   prev_ = ObservationFromRecord(record);
   have_prev_ = true;
@@ -259,7 +333,7 @@ Result<RoundRecord> TrimmingSession::Step() {
 
 GameSummary TrimmingSession::Finish() const {
   GameSummary summary;
-  summary.rounds = records_;
+  summary.rounds = records_.ToVector();
   summary.termination_round = collector_->termination_round();
   return summary;
 }
@@ -279,7 +353,7 @@ SessionCheckpoint TrimmingSession::Checkpoint() const {
   cp.poison_quota = poison_quota_;
   cp.have_prev = have_prev_;
   cp.prev = prev_;
-  cp.records = records_;
+  cp.records = records_.ToVector();
   cp.rng = rng_.Save();
   cp.board = board_.Save();
   return cp;
@@ -293,10 +367,10 @@ Status TrimmingSession::Restore(const SessionCheckpoint& checkpoint) {
   ITRIM_RETURN_NOT_OK(Bootstrap());
   rng_.Restore(checkpoint.rng);
   board_.Restore(checkpoint.board);
-  records_ = checkpoint.records;
+  records_.Assign(checkpoint.records);
   // Strategy state is a function of the observation history for all the
   // paper's strategies; replaying the records reconstructs it exactly.
-  for (const RoundRecord& record : records_) {
+  for (const RoundRecord& record : checkpoint.records) {
     RoundObservation obs = ObservationFromRecord(record);
     collector_->Observe(obs);
     if (adversary_ != nullptr) adversary_->Observe(obs);

@@ -6,34 +6,29 @@
 #include <numeric>
 
 #include "common/math_util.h"
+#include "game/kernels.h"
 #include "stats/quantile.h"
 
 namespace itrim {
 
-TrimOutcome TrimAboveValue(const std::vector<double>& values, double cutoff) {
+TrimOutcome TrimAboveValue(std::span<const double> values, double cutoff) {
   TrimOutcome out;
   TrimAboveValueInto(values, cutoff, &out);
   return out;
 }
 
-void TrimAboveValueInto(const std::vector<double>& values, double cutoff,
+void TrimAboveValueInto(std::span<const double> values, double cutoff,
                         TrimOutcome* out) {
   out->cutoff = cutoff;
-  out->kept_count = 0;
-  out->removed_count = 0;
-  out->keep.assign(values.size(), 1);
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i] > cutoff) {
-      out->keep[i] = 0;
-      ++out->removed_count;
-    } else {
-      ++out->kept_count;
-    }
-  }
+  out->keep.resize(values.size());
+  out->kept_count =
+      kernels::MaskAtMost(values.data(), values.size(), cutoff,
+                          out->keep.data());
+  out->removed_count = values.size() - out->kept_count;
 }
 
 Result<TrimOutcome> TrimAtReferencePercentile(
-    const std::vector<double>& values, const std::vector<double>& reference,
+    std::span<const double> values, const std::vector<double>& reference,
     double q) {
   if (reference.empty()) {
     return Status::FailedPrecondition("empty reference distribution");
@@ -49,14 +44,14 @@ Result<TrimOutcome> TrimAtReferencePercentile(
   return TrimAboveValue(values, cutoff);
 }
 
-TrimOutcome TrimTopFraction(const std::vector<double>& values, double q) {
+TrimOutcome TrimTopFraction(std::span<const double> values, double q) {
   TrimOutcome out;
   std::vector<size_t> idx;
   TrimTopFractionInto(values, q, &idx, &out);
   return out;
 }
 
-void TrimTopFractionInto(const std::vector<double>& values, double q,
+void TrimTopFractionInto(std::span<const double> values, double q,
                          std::vector<size_t>* idx_scratch, TrimOutcome* out) {
   out->kept_count = 0;
   out->removed_count = 0;

@@ -15,6 +15,7 @@
 #define ITRIM_GAME_TRIMMER_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -32,28 +33,29 @@ struct TrimOutcome {
 };
 
 /// \brief Removes values strictly above `cutoff`.
-TrimOutcome TrimAboveValue(const std::vector<double>& values, double cutoff);
+TrimOutcome TrimAboveValue(std::span<const double> values, double cutoff);
 
 /// \brief TrimAboveValue into caller-owned storage: `out`'s keep mask is
 /// overwritten in place, so a warm TrimOutcome makes repeated trims
-/// allocation-free (the streaming round loop's steady state).
-void TrimAboveValueInto(const std::vector<double>& values, double cutoff,
+/// allocation-free (the streaming round loop's steady state). The masking
+/// loop runs through the dispatched kernels (game/kernels.h).
+void TrimAboveValueInto(std::span<const double> values, double cutoff,
                         TrimOutcome* out);
 
 /// \brief Removes values strictly above the q-quantile of `reference`.
 /// Requires a non-empty reference.
 Result<TrimOutcome> TrimAtReferencePercentile(
-    const std::vector<double>& values, const std::vector<double>& reference,
+    std::span<const double> values, const std::vector<double>& reference,
     double q);
 
 /// \brief Removes exactly the ceil((1-q)*n) largest values of the round
 /// itself (ties broken by position). q >= 1 keeps everything.
-TrimOutcome TrimTopFraction(const std::vector<double>& values, double q);
+TrimOutcome TrimTopFraction(std::span<const double> values, double q);
 
 /// \brief TrimTopFraction into caller-owned storage. `idx_scratch` holds the
 /// partial-sort index permutation between calls; both it and `out` keep
 /// their capacity, so a warm pair makes repeated trims allocation-free.
-void TrimTopFractionInto(const std::vector<double>& values, double q,
+void TrimTopFractionInto(std::span<const double> values, double q,
                          std::vector<size_t>* idx_scratch, TrimOutcome* out);
 
 /// \brief Applies a keep-mask, returning the surviving elements.

@@ -1,6 +1,9 @@
 #include "ldp/report_score_model.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "game/kernels.h"
 
 namespace itrim {
 
@@ -37,7 +40,10 @@ void LdpReportScoreModel::BeginRound(size_t expected) {
   is_poison_.reserve(expected);
 }
 
-void LdpReportScoreModel::AppendBenign(size_t count, Rng* rng) {
+void LdpReportScoreModel::AppendBenignBatch(size_t count, Rng* rng) {
+  // Each report consumes draw-then-perturb on the engine stream; the
+  // mechanism's RNG use is data-dependent, so this loop is the batch (the
+  // single virtual call is the round-level win, not intra-loop SIMD).
   for (size_t i = 0; i < count; ++i) {
     double x = (*population_)[rng->UniformInt(population_->size())];
     reports_.push_back(mechanism_->Perturb(x, rng));
@@ -45,10 +51,42 @@ void LdpReportScoreModel::AppendBenign(size_t count, Rng* rng) {
   }
 }
 
+Status LdpReportScoreModel::AppendBenignBatch(std::span<const double> obs) {
+  // External ingest: already-perturbed reports, appended verbatim.
+  reports_.insert(reports_.end(), obs.begin(), obs.end());
+  is_poison_.insert(is_poison_.end(), obs.size(), 0);
+  return Status::OK();
+}
+
 Status LdpReportScoreModel::AppendPoison(double /*position*/, Rng* rng,
                                          const PublicBoard& /*board*/) {
   reports_.push_back(attack_->PoisonReport(*mechanism_, rng));
   is_poison_.push_back(1);
+  return Status::OK();
+}
+
+Status LdpReportScoreModel::AppendPoisonBatch(
+    std::span<const double> positions, Rng* rng,
+    const PublicBoard& /*board*/) {
+  // Positions are ignored (the attack materializes poison autonomously);
+  // the per-report RNG order matches the AppendPoison loop exactly.
+  for (size_t i = 0; i < positions.size(); ++i) {
+    reports_.push_back(attack_->PoisonReport(*mechanism_, rng));
+    is_poison_.push_back(1);
+  }
+  return Status::OK();
+}
+
+double LdpReportScoreModel::ScoreObservation(
+    std::span<const double> obs) const {
+  // A perturbed report IS its score.
+  return obs[0];
+}
+
+Status LdpReportScoreModel::ScoreInto(std::span<const double> obs,
+                                      std::span<double> out) const {
+  ITRIM_RETURN_NOT_OK(CheckScoreSpans(obs, out));
+  std::copy(obs.begin(), obs.end(), out.begin());
   return Status::OK();
 }
 
@@ -75,27 +113,21 @@ double LdpReportScoreModel::InjectionSignal(const PublicBoard& board,
   return estimate;
 }
 
-Status LdpReportScoreModel::TrimAtReferenceInto(double percentile,
-                                                const PublicBoard& board,
-                                                TrimOutcome* out) {
+Status LdpReportScoreModel::TrimAtReference(double percentile,
+                                            const PublicBoard& board,
+                                            TrimOutcome* out) {
   ITRIM_ASSIGN_OR_RETURN(double upper_cut, board.Quantile(percentile));
   ITRIM_ASSIGN_OR_RETURN(double lower_cut, board.Quantile(1.0 - percentile));
   out->cutoff = upper_cut;
-  out->kept_count = 0;
-  out->removed_count = 0;
-  out->keep.assign(reports_.size(), 1);
-  for (size_t i = 0; i < reports_.size(); ++i) {
-    if (reports_[i] > upper_cut || reports_[i] < lower_cut) {
-      out->keep[i] = 0;
-      ++out->removed_count;
-    } else {
-      ++out->kept_count;
-    }
-  }
+  out->keep.resize(reports_.size());
+  out->kept_count = kernels::MaskInBand(reports_.data(), reports_.size(),
+                                        lower_cut, upper_cut,
+                                        out->keep.data());
+  out->removed_count = reports_.size() - out->kept_count;
   return Status::OK();
 }
 
-void LdpReportScoreModel::Commit(const std::vector<char>& keep) {
+void LdpReportScoreModel::Commit(std::span<const char> keep) {
   if (!retain_survivors_) return;
   for (size_t i = 0; i < reports_.size(); ++i) {
     if (keep[i]) retained_.push_back(reports_[i]);

@@ -12,6 +12,7 @@
 #ifndef ITRIM_LDP_REPORT_SCORE_MODEL_H_
 #define ITRIM_LDP_REPORT_SCORE_MODEL_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,16 +51,25 @@ class LdpReportScoreModel : public ScoreModel {
                    PublicBoard* board) override;
   size_t PoisonCount(const GameConfig& config, double* quota) const override;
   void BeginRound(size_t expected) override;
-  void AppendBenign(size_t count, Rng* rng) override;
+  void AppendBenignBatch(size_t count, Rng* rng) override;
+  Status AppendBenignBatch(std::span<const double> obs) override;
   Status AppendPoison(double position, Rng* rng,
                       const PublicBoard& board) override;
-  const std::vector<double>& scores() const override { return reports_; }
-  const std::vector<char>& is_poison() const override { return is_poison_; }
+  /// One virtual call for the whole poison head: the attack needs no
+  /// percentile guidance, so the engine hands the batch over wholesale
+  /// (identical RNG order to the per-report hook).
+  Status AppendPoisonBatch(std::span<const double> positions, Rng* rng,
+                           const PublicBoard& board) override;
+  std::span<const double> scores() const override { return reports_; }
+  std::span<const char> is_poison() const override { return is_poison_; }
+  double ScoreObservation(std::span<const double> obs) const override;
+  Status ScoreInto(std::span<const double> obs,
+                   std::span<double> out) const override;
   double InjectionSignal(const PublicBoard& board,
                          double adversary_mean) const override;
-  Status TrimAtReferenceInto(double percentile, const PublicBoard& board,
-                             TrimOutcome* out) override;
-  void Commit(const std::vector<char>& keep) override;
+  Status TrimAtReference(double percentile, const PublicBoard& board,
+                         TrimOutcome* out) override;
+  void Commit(std::span<const char> keep) override;
 
   /// \brief Surviving reports accumulated since BeginRun().
   const std::vector<double>& retained() const { return retained_; }

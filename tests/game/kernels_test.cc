@@ -1,0 +1,261 @@
+// Bit-identity contract of the dispatched scoring kernels (game/kernels.h):
+// the generic and auto-vectorized builds must return identical bytes for
+// every input, including NaN/inf payloads and awkward sizes around the
+// 4-lane stride. A forced-variant sweep drives each public kernel through
+// both builds and compares bitwise; scalar oracles written in the
+// documented operation order pin the semantics themselves.
+#include "game/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace itrim {
+namespace {
+
+using kernels::Variant;
+
+// True bitwise equality (EXPECT_DOUBLE_EQ treats -0.0 == 0.0 and fails on
+// NaN; the dispatch contract is about bytes).
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// The documented reduction: lane k accumulates indices == k (mod 4), lanes
+// combine as (a0 + a1) + (a2 + a3), tail peels into lanes 0..2 in order.
+double OracleSquaredDistance(const double* a, const double* b, size_t n) {
+  double l[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t k = 0; k < 4; ++k) {
+      const double d = a[i + k] - b[i + k];
+      l[k] += d * d;
+    }
+  }
+  for (size_t k = 0; i < n; ++i, ++k) {
+    const double d = a[i] - b[i];
+    l[k] += d * d;
+  }
+  return (l[0] + l[1]) + (l[2] + l[3]);
+}
+
+struct VariantGuard {
+  ~VariantGuard() { kernels::ResetVariant(); }
+};
+
+// Sizes straddling the 4-lane stride, the vector width, and zero.
+const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                         31, 63, 64, 100, 255, 256, 301};
+
+std::vector<double> RandomValues(size_t n, Rng* rng, bool with_specials) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = rng->Uniform(-10.0, 10.0);
+  }
+  if (with_specials && n >= 4) {
+    v[0] = std::nan("");
+    v[n / 2] = std::numeric_limits<double>::infinity();
+    v[n / 3] = -std::numeric_limits<double>::infinity();
+    v[n - 1] = v[n / 4];  // duplicate
+  }
+  return v;
+}
+
+TEST(KernelsDispatchTest, ActiveVariantMatchesCpu) {
+  VariantGuard guard;
+  kernels::ResetVariant();
+  if (kernels::VectorAvailable()) {
+    EXPECT_EQ(kernels::ActiveVariant(), Variant::kVector);
+  } else {
+    EXPECT_EQ(kernels::ActiveVariant(), Variant::kGeneric);
+  }
+}
+
+TEST(KernelsDispatchTest, ForceAndResetRoundTrip) {
+  VariantGuard guard;
+  kernels::ForceVariant(Variant::kGeneric);
+  EXPECT_EQ(kernels::ActiveVariant(), Variant::kGeneric);
+  kernels::ForceVariant(Variant::kVector);
+  if (kernels::VectorAvailable()) {
+    EXPECT_EQ(kernels::ActiveVariant(), Variant::kVector);
+  } else {
+    // Forcing an unavailable build is ignored, not honored unsafely.
+    EXPECT_EQ(kernels::ActiveVariant(), Variant::kGeneric);
+  }
+  kernels::ResetVariant();
+  EXPECT_EQ(kernels::ActiveVariant(), kernels::VectorAvailable()
+                                          ? Variant::kVector
+                                          : Variant::kGeneric);
+}
+
+TEST(KernelsDispatchTest, VariantNames) {
+  EXPECT_STREQ(kernels::VariantName(Variant::kGeneric), "generic");
+  EXPECT_STREQ(kernels::VariantName(Variant::kVector), "vector");
+}
+
+TEST(KernelsTest, MaskAtMostSemantics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, std::nan(""),
+                                 -std::numeric_limits<double>::infinity()};
+  std::vector<char> keep(v.size(), 42);
+  size_t kept = kernels::MaskAtMost(v.data(), v.size(), 2.0, keep.data());
+  // NaN never compares greater, so it is kept (legacy trim semantics).
+  EXPECT_EQ(kept, 4u);
+  EXPECT_EQ(keep[0], 1);
+  EXPECT_EQ(keep[1], 1);  // tie at the cutoff survives
+  EXPECT_EQ(keep[2], 0);
+  EXPECT_EQ(keep[3], 1);
+  EXPECT_EQ(keep[4], 1);
+}
+
+TEST(KernelsTest, MaskInBandSemantics) {
+  const std::vector<double> v = {-3.0, -1.0, 0.0, 1.0, 3.0, std::nan("")};
+  std::vector<char> keep(v.size(), 42);
+  size_t kept =
+      kernels::MaskInBand(v.data(), v.size(), -1.0, 1.0, keep.data());
+  EXPECT_EQ(kept, 4u);
+  EXPECT_EQ(keep[0], 0);
+  EXPECT_EQ(keep[1], 1);
+  EXPECT_EQ(keep[2], 1);
+  EXPECT_EQ(keep[3], 1);
+  EXPECT_EQ(keep[4], 0);
+  EXPECT_EQ(keep[5], 1);  // NaN kept, matching MaskAtMost
+}
+
+TEST(KernelsTest, CountsMatchScalarOracle) {
+  Rng rng(0xC0117ULL);
+  for (size_t n : kSizes) {
+    std::vector<double> v = RandomValues(n, &rng, /*with_specials=*/true);
+    const double cutoff = 0.5;
+    size_t greater = 0, at_least = 0;
+    for (double x : v) {
+      if (x > cutoff) ++greater;
+      if (x >= cutoff) ++at_least;
+    }
+    EXPECT_EQ(kernels::CountGreater(v.data(), n, cutoff), greater) << n;
+    EXPECT_EQ(kernels::CountAtLeast(v.data(), n, cutoff), at_least) << n;
+  }
+}
+
+TEST(KernelsTest, SquaredDistanceMatchesDocumentedAssociation) {
+  Rng rng(0xD157ULL);
+  for (size_t n : kSizes) {
+    std::vector<double> a = RandomValues(n, &rng, /*with_specials=*/false);
+    std::vector<double> b = RandomValues(n, &rng, /*with_specials=*/false);
+    const double got = kernels::SquaredDistance(a.data(), b.data(), n);
+    EXPECT_TRUE(SameBits(got, OracleSquaredDistance(a.data(), b.data(), n)))
+        << "n=" << n;
+    // Loose cross-check against the naive sequential sum.
+    double naive = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      naive += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    EXPECT_NEAR(got, naive, 1e-9 * (1.0 + naive)) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, SmallSizesDegenerateToSequentialSum) {
+  // For n <= 4 the lane combination must reproduce the plain left-to-right
+  // sum (historical scalar values of the seed implementation).
+  Rng rng(0x5E0ULL);
+  for (size_t n = 0; n <= 4; ++n) {
+    std::vector<double> a = RandomValues(n, &rng, false);
+    std::vector<double> b = RandomValues(n, &rng, false);
+    double seq = 0.0;
+    for (size_t i = 0; i < n; ++i) seq += (a[i] - b[i]) * (a[i] - b[i]);
+    EXPECT_TRUE(
+        SameBits(kernels::SquaredDistance(a.data(), b.data(), n), seq))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, DistancesToCenterMatchesPerRowScalar) {
+  Rng rng(0xD15CULL);
+  for (size_t dims : {1u, 2u, 3u, 4u, 5u, 8u, 17u}) {
+    const size_t n_rows = 37;
+    std::vector<double> rows = RandomValues(n_rows * dims, &rng, false);
+    std::vector<double> center = RandomValues(dims, &rng, false);
+    std::vector<double> out(n_rows, -1.0);
+    kernels::DistancesToCenter(rows.data(), n_rows, dims, center.data(),
+                               out.data());
+    for (size_t r = 0; r < n_rows; ++r) {
+      const double expect = std::sqrt(
+          OracleSquaredDistance(rows.data() + r * dims, center.data(), dims));
+      EXPECT_TRUE(SameBits(out[r], expect)) << "dims=" << dims << " r=" << r;
+    }
+  }
+}
+
+// The headline contract: every kernel returns identical bytes from the
+// generic and the vector build, across sizes and special values.
+TEST(KernelsVariantEquivalenceTest, AllKernelsBitIdenticalAcrossVariants) {
+  if (!kernels::VectorAvailable()) {
+    GTEST_SKIP() << "no AVX2: single-variant machine";
+  }
+  VariantGuard guard;
+  Rng rng(0xB17B17ULL);
+  for (size_t n : kSizes) {
+    std::vector<double> v = RandomValues(n, &rng, /*with_specials=*/true);
+    std::vector<double> w = RandomValues(n, &rng, /*with_specials=*/false);
+    const double cutoff = 0.25;
+
+    kernels::ForceVariant(Variant::kGeneric);
+    std::vector<char> keep_g(n, 0), band_g(n, 0);
+    const size_t mask_g = kernels::MaskAtMost(v.data(), n, cutoff,
+                                              keep_g.data());
+    const size_t band_kept_g =
+        kernels::MaskInBand(v.data(), n, -1.0, 1.0, band_g.data());
+    const size_t greater_g = kernels::CountGreater(v.data(), n, cutoff);
+    const size_t at_least_g = kernels::CountAtLeast(v.data(), n, cutoff);
+    const double dist_g = kernels::SquaredDistance(v.data(), w.data(), n);
+
+    kernels::ForceVariant(Variant::kVector);
+    std::vector<char> keep_v(n, 0), band_v(n, 0);
+    const size_t mask_v = kernels::MaskAtMost(v.data(), n, cutoff,
+                                              keep_v.data());
+    const size_t band_kept_v =
+        kernels::MaskInBand(v.data(), n, -1.0, 1.0, band_v.data());
+    const size_t greater_v = kernels::CountGreater(v.data(), n, cutoff);
+    const size_t at_least_v = kernels::CountAtLeast(v.data(), n, cutoff);
+    const double dist_v = kernels::SquaredDistance(v.data(), w.data(), n);
+
+    EXPECT_EQ(mask_g, mask_v) << n;
+    EXPECT_EQ(keep_g, keep_v) << n;
+    EXPECT_EQ(band_kept_g, band_kept_v) << n;
+    EXPECT_EQ(band_g, band_v) << n;
+    EXPECT_EQ(greater_g, greater_v) << n;
+    EXPECT_EQ(at_least_g, at_least_v) << n;
+    EXPECT_TRUE(SameBits(dist_g, dist_v)) << n;
+  }
+}
+
+TEST(KernelsVariantEquivalenceTest, DistancesToCenterBitIdentical) {
+  if (!kernels::VectorAvailable()) {
+    GTEST_SKIP() << "no AVX2: single-variant machine";
+  }
+  VariantGuard guard;
+  Rng rng(0xB17D15ULL);
+  for (size_t dims : {1u, 2u, 4u, 7u, 16u, 33u}) {
+    const size_t n_rows = 53;
+    std::vector<double> rows = RandomValues(n_rows * dims, &rng, false);
+    std::vector<double> center = RandomValues(dims, &rng, false);
+    std::vector<double> out_g(n_rows), out_v(n_rows);
+    kernels::ForceVariant(Variant::kGeneric);
+    kernels::DistancesToCenter(rows.data(), n_rows, dims, center.data(),
+                               out_g.data());
+    kernels::ForceVariant(Variant::kVector);
+    kernels::DistancesToCenter(rows.data(), n_rows, dims, center.data(),
+                               out_v.data());
+    for (size_t r = 0; r < n_rows; ++r) {
+      EXPECT_TRUE(SameBits(out_g[r], out_v[r]))
+          << "dims=" << dims << " r=" << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itrim

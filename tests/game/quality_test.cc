@@ -44,7 +44,8 @@ TEST(TailMassQualityTest, PoisonDropsQualityByAttackMass) {
 TEST(TailMassQualityTest, EmptyBoardScoresOne) {
   PublicBoard board;
   TailMassQuality quality(0.9);
-  EXPECT_DOUBLE_EQ(quality.Evaluate({1.0, 2.0}, board), 1.0);
+  const std::vector<double> round = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quality.Evaluate(round, board), 1.0);
 }
 
 TEST(DefectShareQualityTest, EquilibriumPlayScoresHigh) {

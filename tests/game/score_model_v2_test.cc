@@ -1,0 +1,349 @@
+// Differential tests of the ScoreModel v2 batched scoring surface.
+//
+// The v2 contract has two halves, both asserted here at the bit level:
+//
+//   1. ScoreInto (the batched kernel path) equals ScoreIntoScalar (the
+//      retained per-observation reference) for every model kind, batch
+//      size and dispatch variant — the batch is an optimization, never a
+//      semantic change.
+//   2. A full game stream produces bit-identical GameSummarys whether the
+//      kernels dispatch to the generic or the auto-vectorized build,
+//      across every scheme and data setting.
+//
+// Plus the span plumbing around them: mismatched spans are rejected with
+// InvalidArgument, external AppendBenignBatch ingest scores like the
+// simulation path, and scores()/is_poison() stay parallel views.
+#include "game/score_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "exp/schemes.h"
+#include "game/kernels.h"
+#include "game/public_board.h"
+#include "game/session.h"
+#include "game/strategies.h"
+#include "ldp/attacks.h"
+#include "ldp/mechanism.h"
+#include "ldp/report_score_model.h"
+
+#include "game/summary_test_util.h"
+
+namespace itrim {
+namespace {
+
+using kernels::Variant;
+
+struct VariantGuard {
+  ~VariantGuard() { kernels::ResetVariant(); }
+};
+
+const size_t kBatchSizes[] = {0, 1, 2, 3, 4, 5, 17, 64, 257};
+
+// Bootstraps a distance model over an unlabeled control-chart sample so the
+// percentile geometry exists before scoring.
+class DistanceModelFixture {
+ public:
+  DistanceModelFixture() : data_(MakeControl(35, 40)), model_(&data_) {
+    data_.labels.clear();  // external ingest needs an unlabeled source
+    Rng rng(71);
+    EXPECT_TRUE(model_.BeginRun().ok());
+    EXPECT_TRUE(model_.Bootstrap(120, &rng, &board_).ok());
+  }
+
+  Dataset data_;
+  DistanceScoreModel model_;
+  PublicBoard board_;
+};
+
+// Flattens `count` source rows (sampled with replacement) into one span.
+std::vector<double> FlatRows(const Dataset& data, size_t count, Rng* rng) {
+  std::vector<double> flat;
+  flat.reserve(count * data.dims());
+  for (size_t i = 0; i < count; ++i) {
+    const auto& row = data.rows[rng->UniformInt(data.rows.size())];
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return flat;
+}
+
+void ExpectBatchEqualsScalar(const ScoreModel& model,
+                             std::span<const double> obs, size_t count) {
+  std::vector<double> batch(count, -1.0), scalar(count, -2.0);
+  ASSERT_TRUE(model.ScoreInto(obs, batch).ok());
+  ASSERT_TRUE(model.ScoreIntoScalar(obs, scalar).ok());
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(BitEqual(batch[i], scalar[i])) << "i=" << i;
+  }
+}
+
+TEST(ScoreIntoDifferentialTest, IdentityBatchEqualsScalarReference) {
+  std::vector<double> pool = UniformPool(500, 3);
+  IdentityScoreModel model(&pool);
+  ASSERT_TRUE(model.BeginRun().ok());
+  Rng rng(5);
+  for (size_t n : kBatchSizes) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<double> obs(n);
+    for (double& v : obs) v = rng.Uniform(-5.0, 5.0);
+    ExpectBatchEqualsScalar(model, obs, n);
+  }
+}
+
+TEST(ScoreIntoDifferentialTest, LdpBatchEqualsScalarReference) {
+  std::vector<double> population = UniformPool(500, 7);
+  PiecewiseMechanism mechanism(2.0);
+  InputManipulationAttack attack(1.0);
+  LdpReportScoreModel model(&population, &mechanism, &attack, 0.9);
+  Rng rng(9);
+  for (size_t n : kBatchSizes) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<double> obs(n);
+    for (double& v : obs) v = rng.Uniform(-3.0, 3.0);
+    ExpectBatchEqualsScalar(model, obs, n);
+  }
+}
+
+TEST(ScoreIntoDifferentialTest, DistanceBatchEqualsScalarReference) {
+  DistanceModelFixture fx;
+  Rng rng(11);
+  for (size_t n : kBatchSizes) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<double> obs = FlatRows(fx.data_, n, &rng);
+    ExpectBatchEqualsScalar(fx.model_, obs, n);
+  }
+}
+
+TEST(ScoreIntoDifferentialTest, DistanceBatchEqualsScalarUnderBothVariants) {
+  if (!kernels::VectorAvailable()) {
+    GTEST_SKIP() << "no AVX2: single-variant machine";
+  }
+  VariantGuard guard;
+  DistanceModelFixture fx;
+  Rng rng(13);
+  const size_t n = 129;
+  std::vector<double> obs = FlatRows(fx.data_, n, &rng);
+  std::vector<double> generic(n), vector(n), scalar(n);
+  kernels::ForceVariant(Variant::kGeneric);
+  ASSERT_TRUE(fx.model_.ScoreInto(obs, generic).ok());
+  ASSERT_TRUE(fx.model_.ScoreIntoScalar(obs, scalar).ok());
+  kernels::ForceVariant(Variant::kVector);
+  ASSERT_TRUE(fx.model_.ScoreInto(obs, vector).ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(BitEqual(generic[i], vector[i])) << "i=" << i;
+    EXPECT_TRUE(BitEqual(generic[i], scalar[i])) << "i=" << i;
+  }
+}
+
+TEST(ScoreIntoSpanCheckTest, MismatchedSpansAreInvalidArgument) {
+  std::vector<double> pool = UniformPool(100, 17);
+  IdentityScoreModel model(&pool);
+  std::vector<double> obs(10), out(9);
+  EXPECT_EQ(model.ScoreInto(obs, out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.ScoreIntoScalar(obs, out).code(),
+            StatusCode::kInvalidArgument);
+
+  DistanceModelFixture fx;
+  const size_t dims = fx.data_.dims();
+  ASSERT_GT(dims, 1u);
+  // One double short of a whole number of rows.
+  std::vector<double> rows(5 * dims - 1), scores(5);
+  EXPECT_EQ(fx.model_.ScoreInto(rows, scores).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExternalIngestTest, IdentityIngestAppendsVerbatim) {
+  std::vector<double> pool = UniformPool(100, 19);
+  IdentityScoreModel model(&pool);
+  ASSERT_TRUE(model.BeginRun().ok());
+  model.BeginRound(4);
+  const std::vector<double> obs = {0.25, -1.5, 3.75, 0.0};
+  ASSERT_TRUE(model.AppendBenignBatch(obs).ok());
+  std::span<const double> scores = model.scores();
+  std::span<const char> poison = model.is_poison();
+  ASSERT_EQ(scores.size(), obs.size());
+  ASSERT_EQ(poison.size(), obs.size());
+  for (size_t i = 0; i < obs.size(); ++i) {
+    EXPECT_TRUE(BitEqual(scores[i], obs[i]));
+    EXPECT_EQ(poison[i], 0);
+  }
+}
+
+TEST(ExternalIngestTest, DistanceIngestScoresLikeScalarPath) {
+  DistanceModelFixture fx;
+  Rng rng(23);
+  const size_t n = 37;
+  std::vector<double> obs = FlatRows(fx.data_, n, &rng);
+  fx.model_.BeginRound(n);
+  ASSERT_TRUE(fx.model_.AppendBenignBatch(obs).ok());
+  std::span<const double> scores = fx.model_.scores();
+  ASSERT_EQ(scores.size(), n);
+  const size_t dims = fx.data_.dims();
+  for (size_t i = 0; i < n; ++i) {
+    const double expect = fx.model_.ScoreObservation(
+        std::span<const double>(obs).subspan(i * dims, dims));
+    EXPECT_TRUE(BitEqual(scores[i], expect)) << "i=" << i;
+  }
+}
+
+TEST(ExternalIngestTest, DistanceIngestRejectsLabeledAndUnbootstrapped) {
+  Dataset labeled = MakeControl(41, 30);
+  ASSERT_TRUE(labeled.labeled());
+  DistanceScoreModel model(&labeled);
+  std::vector<double> obs(labeled.dims(), 0.0);
+  // Not bootstrapped yet: no geometry to score against.
+  EXPECT_EQ(model.AppendBenignBatch(obs).code(),
+            StatusCode::kFailedPrecondition);
+  Rng rng(43);
+  PublicBoard board;
+  ASSERT_TRUE(model.BeginRun().ok());
+  ASSERT_TRUE(model.Bootstrap(60, &rng, &board).ok());
+  // Bootstrapped but labeled: external rows carry no labels.
+  EXPECT_EQ(model.AppendBenignBatch(obs).code(),
+            StatusCode::kFailedPrecondition);
+  // Partial rows are rejected outright.
+  Dataset unlabeled = labeled;
+  unlabeled.labels.clear();
+  DistanceScoreModel umodel(&unlabeled);
+  ASSERT_TRUE(umodel.BeginRun().ok());
+  PublicBoard uboard;
+  ASSERT_TRUE(umodel.Bootstrap(60, &rng, &uboard).ok());
+  std::vector<double> partial(unlabeled.dims() + 1, 0.0);
+  EXPECT_EQ(umodel.AppendBenignBatch(partial).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The headline end-to-end gate: a full game stream is bit-identical under
+// both kernel builds, across every scheme and all three data settings.
+class VariantStreamEquivalenceTest
+    : public ::testing::TestWithParam<SchemeId> {};
+
+TEST_P(VariantStreamEquivalenceTest, ScalarAndDistanceStreamsBitIdentical) {
+  if (!kernels::VectorAvailable()) {
+    GTEST_SKIP() << "no AVX2: single-variant machine";
+  }
+  VariantGuard guard;
+  std::vector<double> pool = UniformPool(2000, 29);
+  Dataset data = MakeControl(31, 50);
+  GameConfig config;
+  config.rounds = 6;
+  config.round_size = 80;
+  config.attack_ratio = 0.2;
+  config.bootstrap_size = 100;
+  config.seed = 12345;
+
+  for (bool distance : {false, true}) {
+    SCOPED_TRACE(distance ? "distance" : "scalar");
+    GameSummary per_variant[2];
+    for (Variant variant : {Variant::kGeneric, Variant::kVector}) {
+      kernels::ForceVariant(variant);
+      SchemeInstance scheme = MakeScheme(GetParam(), config.tth);
+      GameSummary summary;
+      if (distance) {
+        DistanceScoreModel model(&data);
+        TrimmingSession session(config, &model, scheme.collector.get(),
+                                scheme.adversary.get(), scheme.quality.get());
+        summary = session.RunToCompletion().ValueOrDie();
+      } else {
+        IdentityScoreModel model(&pool);
+        TrimmingSession session(config, &model, scheme.collector.get(),
+                                scheme.adversary.get(), scheme.quality.get());
+        summary = session.RunToCompletion().ValueOrDie();
+      }
+      per_variant[variant == Variant::kVector ? 1 : 0] = summary;
+    }
+    ExpectSummaryBitIdentical(per_variant[0], per_variant[1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, VariantStreamEquivalenceTest,
+                         ::testing::ValuesIn(AllSchemes()),
+                         [](const auto& info) {
+                           // Scheme names carry '.'/'-'; gtest parameter
+                           // names must be alphanumeric.
+                           std::string name(SchemeName(info.param));
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(
+                                 static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+TEST(VariantStreamEquivalenceLdpTest, LdpStreamBitIdentical) {
+  if (!kernels::VectorAvailable()) {
+    GTEST_SKIP() << "no AVX2: single-variant machine";
+  }
+  VariantGuard guard;
+  std::vector<double> population = UniformPool(1500, 37);
+  for (double& v : population) v = 2.0 * v - 1.0;
+  PiecewiseMechanism mechanism(2.0);
+  GameConfig config;
+  config.rounds = 6;
+  config.round_size = 80;
+  config.attack_ratio = 0.15;
+  config.bootstrap_size = 100;
+  config.seed = 777;
+
+  GameSummary per_variant[2];
+  for (Variant variant : {Variant::kGeneric, Variant::kVector}) {
+    kernels::ForceVariant(variant);
+    InputManipulationAttack attack(1.0);
+    LdpReportScoreModel model(&population, &mechanism, &attack, config.tth);
+    ElasticCollector collector(0.5);
+    TrimmingSession session(config, &model, &collector, nullptr, nullptr);
+    per_variant[variant == Variant::kVector ? 1 : 0] =
+        session.RunToCompletion().ValueOrDie();
+  }
+  ExpectSummaryBitIdentical(per_variant[0], per_variant[1]);
+}
+
+// The engine's batched no-adversary poison path (AppendPoisonBatch) must be
+// a pure dispatch-count optimization: records bit-identical to the default
+// per-observation loop, which a wrapper model pins here.
+class LoopingPoisonLdpModel : public LdpReportScoreModel {
+ public:
+  using LdpReportScoreModel::LdpReportScoreModel;
+  Status AppendPoisonBatch(std::span<const double> positions, Rng* rng,
+                           const PublicBoard& board) override {
+    // Deliberately the base-class default loop, not the batched override.
+    return ScoreModel::AppendPoisonBatch(positions, rng, board);
+  }
+};
+
+TEST(PoisonBatchEquivalenceTest, BatchedPoisonMatchesPerObservationLoop) {
+  std::vector<double> population = UniformPool(1500, 41);
+  for (double& v : population) v = 2.0 * v - 1.0;
+  PiecewiseMechanism mechanism(2.0);
+  GameConfig config;
+  config.rounds = 5;
+  config.round_size = 60;
+  config.attack_ratio = 0.25;
+  config.bootstrap_size = 80;
+  config.seed = 999;
+
+  GameSummary batched, looped;
+  {
+    InputManipulationAttack attack(1.0);
+    LdpReportScoreModel model(&population, &mechanism, &attack, config.tth);
+    ElasticCollector collector(0.5);
+    TrimmingSession session(config, &model, &collector, nullptr, nullptr);
+    batched = session.RunToCompletion().ValueOrDie();
+  }
+  {
+    InputManipulationAttack attack(1.0);
+    LoopingPoisonLdpModel model(&population, &mechanism, &attack, config.tth);
+    ElasticCollector collector(0.5);
+    TrimmingSession session(config, &model, &collector, nullptr, nullptr);
+    looped = session.RunToCompletion().ValueOrDie();
+  }
+  ExpectSummaryBitIdentical(batched, looped);
+}
+
+}  // namespace
+}  // namespace itrim

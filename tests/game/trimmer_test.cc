@@ -10,7 +10,8 @@ namespace itrim {
 namespace {
 
 TEST(TrimAboveValueTest, StrictlyAboveRemoved) {
-  auto outcome = TrimAboveValue({1.0, 2.0, 3.0, 4.0}, 2.0);
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  auto outcome = TrimAboveValue(values, 2.0);
   EXPECT_EQ(outcome.kept_count, 2u);
   EXPECT_EQ(outcome.removed_count, 2u);
   EXPECT_EQ(outcome.keep[0], 1);
@@ -41,12 +42,14 @@ TEST(TrimAtReferencePercentileTest, CutoffFromReference) {
 }
 
 TEST(TrimAtReferencePercentileTest, EmptyReferenceFails) {
-  auto outcome = TrimAtReferencePercentile({1.0}, {}, 0.9);
+  const std::vector<double> round = {1.0};
+  auto outcome = TrimAtReferencePercentile(round, {}, 0.9);
   EXPECT_FALSE(outcome.ok());
 }
 
 TEST(TrimAtReferencePercentileTest, QAtLeastOneKeepsEverything) {
-  auto outcome = TrimAtReferencePercentile({100.0}, {1.0}, 1.0).ValueOrDie();
+  const std::vector<double> round = {100.0};
+  auto outcome = TrimAtReferencePercentile(round, {1.0}, 1.0).ValueOrDie();
   EXPECT_EQ(outcome.kept_count, 1u);
   EXPECT_TRUE(std::isinf(outcome.cutoff));
 }

@@ -37,11 +37,31 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        report = json.load(f)
+    """Loads one BENCH_<name>.json, exiting with a one-line diagnostic on
+    any malformed input (missing file, invalid JSON, wrong shape) instead
+    of a traceback — this runs in CI where the traceback buries the cause.
+    """
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as err:
+        sys.exit(f"{path}: cannot read bench report: {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"{path}: not valid JSON ({err.msg} at line {err.lineno}) "
+                 "— was the bench binary interrupted mid-write?")
+    if not isinstance(report, dict):
+        sys.exit(f"{path}: expected a JSON object at top level, got "
+                 f"{type(report).__name__}")
     if report.get("schema_version") != 1:
         sys.exit(f"{path}: unsupported schema_version "
                  f"{report.get('schema_version')!r}")
+    if not isinstance(report.get("cases", []), list):
+        sys.exit(f"{path}: 'cases' must be a list, got "
+                 f"{type(report.get('cases')).__name__}")
+    for case in report.get("cases", []):
+        if not isinstance(case, dict) or not case.get("name"):
+            sys.exit(f"{path}: malformed case entry {case!r} — every case "
+                     "needs a 'name'")
     return report
 
 
