@@ -1,14 +1,24 @@
 #include "game/public_board.h"
 
+#include <string>
+
 namespace itrim {
 
-PublicBoard::PublicBoard(size_t capacity, uint64_t seed)
-    : capacity_(capacity), rng_(seed) {
+const char* BoardBackendName(BoardBackend backend) {
+  return backend == BoardBackend::kFlat ? "flat" : "treap";
+}
+
+PublicBoard::PublicBoard(size_t capacity, uint64_t seed, BoardBackend backend)
+    : capacity_(capacity), backend_(backend), rng_(seed) {
   if (capacity_ > 0) {
     // A bounded board's storage high-water mark is known up front; paying
     // it here keeps the record path allocation-free from the first value.
     values_.reserve(capacity_);
-    index_.Reserve(capacity_);
+    if (backend_ == BoardBackend::kFlat) {
+      flat_.Reserve(capacity_);
+    } else {
+      treap_.Reserve(capacity_);
+    }
   }
 }
 
@@ -20,15 +30,25 @@ void PublicBoard::RecordOne(double value) {
   ++total_recorded_;
   if (capacity_ == 0 || values_.size() < capacity_) {
     values_.push_back(value);
-    index_.Insert(value);
+    if (backend_ == BoardBackend::kFlat) {
+      flat_.Insert(value);
+    } else {
+      treap_.Insert(value);
+    }
   } else {
     // Reservoir sampling keeps the board an unbiased sample of everything
     // ever recorded while bounding memory.
     size_t j = static_cast<size_t>(rng_.UniformInt(total_recorded_));
     if (j < capacity_) {
-      index_.EraseOne(values_[j]);
-      values_[j] = value;
-      index_.Insert(value);
+      if (backend_ == BoardBackend::kFlat) {
+        flat_.EraseOne(values_[j]);
+        values_[j] = value;
+        flat_.Insert(value);
+      } else {
+        treap_.EraseOne(values_[j]);
+        values_[j] = value;
+        treap_.Insert(value);
+      }
     }
   }
 }
@@ -37,17 +57,20 @@ Result<double> PublicBoard::Quantile(double q) const {
   if (values_.empty()) {
     return Status::FailedPrecondition("public board is empty");
   }
-  return index_.Quantile(q);
+  return backend_ == BoardBackend::kFlat ? flat_.Quantile(q)
+                                         : treap_.Quantile(q);
 }
 
 double PublicBoard::PercentileRank(double x) const {
   if (values_.empty()) return 0.0;
-  return index_.PercentileRank(x);
+  return backend_ == BoardBackend::kFlat ? flat_.PercentileRank(x)
+                                         : treap_.PercentileRank(x);
 }
 
 void PublicBoard::Clear() {
   values_.clear();
-  index_.Clear();
+  flat_.Clear();
+  treap_.Clear();
   total_recorded_ = 0;
 }
 
@@ -55,12 +78,27 @@ PublicBoard::Snapshot PublicBoard::Save() const {
   return Snapshot{values_, total_recorded_, rng_.Save()};
 }
 
-void PublicBoard::Restore(const Snapshot& snapshot) {
+Status PublicBoard::Restore(const Snapshot& snapshot) {
+  if (capacity_ > 0 && snapshot.values.size() > capacity_) {
+    return Status::InvalidArgument(
+        "board snapshot holds " + std::to_string(snapshot.values.size()) +
+        " values but this board is configured with capacity " +
+        std::to_string(capacity_) +
+        " — restore into a board of the source's capacity");
+  }
   values_ = snapshot.values;
   total_recorded_ = snapshot.total_recorded;
   rng_.Restore(snapshot.rng);
-  index_.Clear();
-  for (double v : values_) index_.Insert(v);
+  if (backend_ == BoardBackend::kFlat) {
+    flat_.Clear();
+    flat_.Reserve(capacity_);
+    for (double v : values_) flat_.Insert(v);
+  } else {
+    treap_.Clear();
+    treap_.Reserve(capacity_);
+    for (double v : values_) treap_.Insert(v);
+  }
+  return Status::OK();
 }
 
 }  // namespace itrim

@@ -10,11 +10,15 @@
 // the cutoffs downward, so all round-to-round adaptivity lives in the
 // strategies, not in reference drift.
 //
-// Order statistics are served by an IndexedBoard (size-augmented treap), so
-// every Quantile()/PercentileRank() is O(log n) even when records and
-// queries interleave — the seed implementation re-sorted the whole
-// reservoir on each post-record query. Results are bit-identical to the
-// sorted-oracle semantics (see indexed_board.h for the contract).
+// Order statistics are served by one of two interchangeable backends (see
+// BoardBackend): the flat B-tree-style FlatOrderBoard (default — sorted
+// 64-double leaves over a Fenwick-counted flat index, cache-local) or the
+// size-augmented treap IndexedBoard. Both are O(log n) per operation and
+// *bit-identical* to the sorted-oracle semantics and to each other for
+// every reachable multiset (see flat_order_board.h / indexed_board.h for
+// the contract), so the choice is purely a performance knob — snapshots
+// taken under one backend restore under the other without any change in
+// the stream.
 #ifndef ITRIM_GAME_PUBLIC_BOARD_H_
 #define ITRIM_GAME_PUBLIC_BOARD_H_
 
@@ -23,9 +27,21 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "game/flat_order_board.h"
 #include "game/indexed_board.h"
 
 namespace itrim {
+
+/// \brief Selectable order-statistic index behind PublicBoard. Both
+/// backends answer every query bit-identically; they differ only in memory
+/// layout and speed (the flat board wins on cache locality).
+enum class BoardBackend {
+  kFlat = 0,   ///< FlatOrderBoard: contiguous sorted leaves + flat index
+  kTreap = 1,  ///< IndexedBoard: size-augmented treap (pointer-chasing)
+};
+
+/// \brief Human-readable backend name ("flat" / "treap").
+const char* BoardBackendName(BoardBackend backend);
 
 /// \brief Append-only record of retained scalar observations with
 /// incremental quantile queries.
@@ -35,7 +51,8 @@ namespace itrim {
 class PublicBoard {
  public:
   /// Creates a board retaining at most `capacity` values (0 = unbounded).
-  explicit PublicBoard(size_t capacity = 0, uint64_t seed = 17);
+  explicit PublicBoard(size_t capacity = 0, uint64_t seed = 17,
+                       BoardBackend backend = BoardBackend::kFlat);
 
   /// \brief Records a batch of retained values.
   void Record(const std::vector<double>& values);
@@ -59,10 +76,16 @@ class PublicBoard {
   /// \brief All currently held values (unsorted, reservoir-slot order).
   const std::vector<double>& values() const { return values_; }
 
+  /// \brief Order-statistic backend this board was configured with.
+  BoardBackend backend() const { return backend_; }
+
   /// \brief Drops all records.
   void Clear();
 
-  /// \brief Serializable board state for session checkpointing.
+  /// \brief Serializable board state for session checkpointing. Snapshots
+  /// are backend-agnostic: the order-statistic index is rebuilt on
+  /// Restore, so a snapshot taken under one backend restores under the
+  /// other with an identical subsequent stream.
   struct Snapshot {
     std::vector<double> values;
     size_t total_recorded = 0;
@@ -73,16 +96,23 @@ class PublicBoard {
   /// rebuilt on Restore, not stored).
   Snapshot Save() const;
 
-  /// \brief Restores a previously captured state. The target board must be
-  /// configured with the same capacity as the snapshot's source.
-  void Restore(const Snapshot& snapshot);
+  /// \brief Restores a previously captured state. Errors (leaving the
+  /// board untouched) when the snapshot holds more values than this
+  /// board's configured capacity — a snapshot from a differently
+  /// configured source board.
+  Status Restore(const Snapshot& snapshot);
 
  private:
   size_t capacity_;
+  BoardBackend backend_;
   size_t total_recorded_ = 0;
   Rng rng_;
   std::vector<double> values_;
-  IndexedBoard index_;
+  // Only the configured backend is ever populated; the idle one stays
+  // empty (a default-constructed board owns no heap memory). Dispatch is a
+  // predictable branch on backend_, kept out of the templated query path.
+  FlatOrderBoard flat_;
+  IndexedBoard treap_;
 };
 
 }  // namespace itrim

@@ -193,7 +193,8 @@ TrimmingSession::TrimmingSession(GameConfig config, ScoreModel* model,
                                  QualityEvaluation* quality)
     : config_(config), config_status_(config.Validate()), model_(model),
       collector_(collector), adversary_(adversary), quality_(quality),
-      board_(config.board_capacity, BoardSeedFor(config, model)),
+      board_(config.board_capacity, BoardSeedFor(config, model),
+             config.board_backend),
       rng_(config.seed) {
   assert(collector != nullptr);
 }
@@ -366,7 +367,7 @@ Status TrimmingSession::Restore(const SessionCheckpoint& checkpoint) {
   // forward to the checkpoint.
   ITRIM_RETURN_NOT_OK(Bootstrap());
   rng_.Restore(checkpoint.rng);
-  board_.Restore(checkpoint.board);
+  ITRIM_RETURN_NOT_OK(board_.Restore(checkpoint.board));
   records_.Assign(checkpoint.records);
   // Strategy state is a function of the observation history for all the
   // paper's strategies; replaying the records reconstructs it exactly.

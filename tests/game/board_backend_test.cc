@@ -1,0 +1,208 @@
+// Cross-backend PublicBoard contract: the two order-statistic backends
+// (flat B-tree board and treap) are interchangeable not just per query but
+// across *snapshots* — a Snapshot taken under one backend restores into a
+// board configured with the other, and the resumed stream is bit-identical
+// (values, reservoir decisions, every quantile/rank). Exercised at both
+// the PublicBoard level and end to end through TrimmingSession
+// checkpoint/restore with the backend swapped at the restore boundary.
+//
+// Also covers the capacity-mismatch Restore error path: a snapshot holding
+// more values than the target board's configured capacity is rejected with
+// InvalidArgument and leaves the target untouched.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "game/public_board.h"
+#include "game/score_model.h"
+#include "game/session.h"
+#include "game/strategies.h"
+
+#include "game/summary_test_util.h"
+
+namespace itrim {
+namespace {
+
+TEST(BoardBackendTest, NamesAndDefault) {
+  EXPECT_STREQ(BoardBackendName(BoardBackend::kFlat), "flat");
+  EXPECT_STREQ(BoardBackendName(BoardBackend::kTreap), "treap");
+  PublicBoard board;
+  EXPECT_EQ(board.backend(), BoardBackend::kFlat);
+  GameConfig config;
+  EXPECT_EQ(config.board_backend, BoardBackend::kFlat);
+}
+
+// One follow-on stream, applied to two boards; asserts they stay
+// bit-identical in slot order and in every query along the way.
+void ExpectBoardsTrackBitIdentically(PublicBoard* a, PublicBoard* b,
+                                     uint64_t follow_seed) {
+  Rng fa(follow_seed), fb(follow_seed);
+  for (int i = 0; i < 400; ++i) {
+    a->RecordOne(fa.Uniform(-2.0, 2.0));
+    b->RecordOne(fb.Uniform(-2.0, 2.0));
+    ASSERT_EQ(a->values(), b->values()) << "record " << i;
+    double q = fa.Uniform();
+    ASSERT_TRUE(BitEqual(q, fb.Uniform()));
+    ASSERT_TRUE(BitEqual(a->Quantile(q).ValueOrDie(),
+                         b->Quantile(q).ValueOrDie()))
+        << "record " << i;
+    double x = fa.Uniform(-2.5, 2.5);
+    fb.Uniform(-2.5, 2.5);
+    ASSERT_TRUE(BitEqual(a->PercentileRank(x), b->PercentileRank(x)))
+        << "record " << i;
+  }
+}
+
+class CrossBackendSnapshotTest
+    : public ::testing::TestWithParam<std::pair<BoardBackend, BoardBackend>> {
+};
+
+TEST_P(CrossBackendSnapshotTest, SnapshotRestoresAcrossBackends) {
+  const auto [from, to] = GetParam();
+  SCOPED_TRACE(std::string(BoardBackendName(from)) + " -> " +
+               BoardBackendName(to));
+  // Source board runs well past capacity so the snapshot carries live
+  // reservoir state (total_recorded > size, mid-stream rng).
+  PublicBoard source(/*capacity=*/50, /*seed=*/8, from);
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) source.RecordOne(rng.Uniform());
+  PublicBoard::Snapshot snapshot = source.Save();
+
+  PublicBoard restored(/*capacity=*/50, /*seed=*/0, to);
+  ASSERT_TRUE(restored.Restore(snapshot).ok());
+  EXPECT_EQ(restored.backend(), to);
+  EXPECT_EQ(restored.size(), source.size());
+  EXPECT_EQ(restored.total_recorded(), source.total_recorded());
+  EXPECT_EQ(restored.values(), source.values());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    ASSERT_TRUE(BitEqual(restored.Quantile(q).ValueOrDie(),
+                         source.Quantile(q).ValueOrDie()))
+        << "q=" << q;
+  }
+  for (double x : {-0.5, 0.0, 0.25, 0.5, 0.75, 1.0, 1.5}) {
+    ASSERT_TRUE(BitEqual(restored.PercentileRank(x), source.PercentileRank(x)))
+        << "x=" << x;
+  }
+  // Both continue under the same stream: the restored rng snapshot makes
+  // reservoir replacement decisions identical regardless of backend.
+  ExpectBoardsTrackBitIdentically(&source, &restored, /*follow_seed=*/77);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Directions, CrossBackendSnapshotTest,
+    ::testing::Values(
+        std::make_pair(BoardBackend::kTreap, BoardBackend::kFlat),
+        std::make_pair(BoardBackend::kFlat, BoardBackend::kTreap),
+        std::make_pair(BoardBackend::kFlat, BoardBackend::kFlat),
+        std::make_pair(BoardBackend::kTreap, BoardBackend::kTreap)),
+    [](const auto& info) {
+      return std::string(BoardBackendName(info.param.first)) + "To" +
+             BoardBackendName(info.param.second);
+    });
+
+TEST(BoardBackendTest, RestoreRejectsOverCapacitySnapshot) {
+  for (BoardBackend to : {BoardBackend::kFlat, BoardBackend::kTreap}) {
+    SCOPED_TRACE(BoardBackendName(to));
+    PublicBoard big(/*capacity=*/0, /*seed=*/3);
+    Rng rng(21);
+    for (int i = 0; i < 80; ++i) big.RecordOne(rng.Uniform());
+    PublicBoard::Snapshot snapshot = big.Save();
+
+    PublicBoard small(/*capacity=*/50, /*seed=*/3, to);
+    small.RecordOne(0.25);
+    Status status = small.Restore(snapshot);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    // The failed restore left the target untouched.
+    EXPECT_EQ(small.size(), 1u);
+    EXPECT_EQ(small.total_recorded(), 1u);
+    EXPECT_TRUE(BitEqual(small.Quantile(0.5).ValueOrDie(), 0.25));
+  }
+}
+
+// End to end: a session checkpointed under one backend resumes under the
+// other and finishes bit-identical to an uninterrupted reference run —
+// the SessionCheckpoint is backend-portable, not just the raw Snapshot.
+TEST(BoardBackendTest, SessionCheckpointRestoresAcrossBackends) {
+  Dataset data = MakeControl(41, 100);
+  GameConfig config;
+  config.rounds = 12;
+  config.round_size = 100;
+  config.attack_ratio = 0.25;
+  config.board_capacity = 300;  // small enough that the reservoir engages
+  config.seed = 13;
+
+  auto run_reference = [&](BoardBackend backend) {
+    GameConfig ref_config = config;
+    ref_config.board_backend = backend;
+    TitfortatCollector collector(+0.01, -0.03, 0.9);
+    ElasticAdversary adversary(0.5);
+    DistanceScoreModel model(&data);
+    TrimmingSession session(ref_config, &model, &collector, &adversary,
+                            nullptr);
+    return session.RunToCompletion().ValueOrDie();
+  };
+  GameSummary flat_full = run_reference(BoardBackend::kFlat);
+  GameSummary treap_full = run_reference(BoardBackend::kTreap);
+  // The backends are bit-identical end to end on a straight run.
+  ExpectSummaryBitIdentical(flat_full, treap_full);
+
+  // Interrupted run under the treap, resumed under the flat board.
+  GameConfig first_config = config;
+  first_config.board_backend = BoardBackend::kTreap;
+  TitfortatCollector c_first(+0.01, -0.03, 0.9);
+  ElasticAdversary a_first(0.5);
+  DistanceScoreModel m_first(&data);
+  TrimmingSession first(first_config, &m_first, &c_first, &a_first, nullptr);
+  ASSERT_TRUE(first.Bootstrap().ok());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(first.Step().ok());
+  SessionCheckpoint checkpoint = first.Checkpoint();
+
+  GameConfig resumed_config = config;
+  resumed_config.board_backend = BoardBackend::kFlat;
+  TitfortatCollector c_resumed(+0.01, -0.03, 0.9);
+  ElasticAdversary a_resumed(0.5);
+  DistanceScoreModel m_resumed(&data);
+  TrimmingSession resumed(resumed_config, &m_resumed, &c_resumed, &a_resumed,
+                          nullptr);
+  ASSERT_TRUE(resumed.Restore(checkpoint).ok());
+  EXPECT_EQ(resumed.board().backend(), BoardBackend::kFlat);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(resumed.Step().ok());
+
+  ExpectSummaryBitIdentical(flat_full, resumed.Finish());
+}
+
+// Session restore propagates the board's capacity-mismatch error instead
+// of silently truncating the record.
+TEST(BoardBackendTest, SessionRestoreSurfacesBoardCapacityMismatch) {
+  Dataset data = MakeControl(41, 100);
+  GameConfig config;
+  config.rounds = 6;
+  config.round_size = 100;
+  config.attack_ratio = 0.25;
+  config.board_capacity = 0;  // unbounded source: board grows past 500
+  config.seed = 13;
+  TitfortatCollector collector(+0.01, -0.03, 0.9);
+  ElasticAdversary adversary(0.5);
+  DistanceScoreModel model(&data);
+  TrimmingSession session(config, &model, &collector, &adversary, nullptr);
+  ASSERT_TRUE(session.Bootstrap().ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(session.Step().ok());
+  SessionCheckpoint checkpoint = session.Checkpoint();
+  ASSERT_GT(checkpoint.board.values.size(), 100u);
+
+  GameConfig small_config = config;
+  small_config.board_capacity = 100;
+  TitfortatCollector c2(+0.01, -0.03, 0.9);
+  ElasticAdversary a2(0.5);
+  DistanceScoreModel m2(&data);
+  TrimmingSession target(small_config, &m2, &c2, &a2, nullptr);
+  Status status = target.Restore(checkpoint);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace itrim

@@ -240,7 +240,7 @@ TEST(PublicBoardSnapshotTest, SaveRestoreRoundTrips) {
   // they must stay bit-identical (values, reservoir decisions, queries).
   // Snapshots restore into a board of the same configured capacity.
   PublicBoard restored(50, /*seed=*/0);
-  restored.Restore(snapshot);
+  ASSERT_TRUE(restored.Restore(snapshot).ok());
   EXPECT_EQ(restored.size(), board.size());
   EXPECT_EQ(restored.total_recorded(), board.total_recorded());
   Rng follow_a(77), follow_b(77);
