@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal = 6,
   kNotImplemented = 7,
   kIOError = 8,
+  kUnavailable = 9,
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -66,6 +67,11 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Transient refusal: the operation may succeed if retried later (e.g. a
+  /// bounded ingest queue is full right now).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// \brief Builds a status of an existing code with a new message (e.g.

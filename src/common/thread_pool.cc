@@ -23,23 +23,36 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stop_) {
+      queue_.push(std::move(task));
+      lock.unlock();
+      cv_.notify_one();
+      return future;
+    }
+    // Stopped pool: the workers may already have seen an empty queue and
+    // exited, so an enqueued task could sit unexecuted forever and this
+    // future would never resolve. Run it inline instead — same completion
+    // contract, no hang.
   }
-  cv_.notify_one();
+  task();
   return future;
 }
 

@@ -38,15 +38,23 @@ class ThreadPool {
   /// Spawns `num_threads` workers (clamped to at least 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains the queue and joins all workers.
+  /// Drains the queue and joins all workers (via Shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// \brief Enqueues `fn`; the future resolves when it has run (or carries
-  /// its exception).
+  /// its exception). After Shutdown() the task runs inline on the calling
+  /// thread instead — a task enqueued while the workers are exiting would
+  /// otherwise be silently dropped and its future would never resolve
+  /// (tests/common/thread_pool_test.cc pins this).
   std::future<void> Submit(std::function<void()> fn);
+
+  /// \brief Stops accepting queued execution, drains already-queued tasks
+  /// and joins all workers. Idempotent; not safe to race with itself from
+  /// two threads (the destructor is the usual caller).
+  void Shutdown();
 
   /// \brief Number of worker threads.
   int num_threads() const { return static_cast<int>(workers_.size()); }

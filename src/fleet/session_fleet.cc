@@ -110,13 +110,102 @@ Status SessionFleet::Bootstrap() {
   reduce_acceptances_.reserve(tenants_.size());
   reduce_qualities_.reserve(tenants_.size());
   next_round_ = 1;
+  per_tenant_mode_ = false;
   bootstrapped_ = true;
   return Status::OK();
+}
+
+Status SessionFleet::BeginPerTenantStepping() {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("fleet is not bootstrapped");
+  }
+  per_tenant_mode_ = true;
+  return Status::OK();
+}
+
+Result<RoundRecord> SessionFleet::StepTenant(size_t i) {
+  if (!per_tenant_mode_) {
+    return Status::FailedPrecondition(
+        "per-tenant stepping requires BeginPerTenantStepping()");
+  }
+  if (i >= tenants_.size()) {
+    return Status::OutOfRange("tenant index " + std::to_string(i) +
+                              " out of range");
+  }
+  if (!tenants_[i].resident()) {
+    return Status::FailedPrecondition(
+        "tenant #" + std::to_string(i) + " is hibernated; rehydrate first");
+  }
+  Result<RoundRecord> record = tenants_[i].session->Step();
+  if (!record.ok()) {
+    return TenantStatus(i, specs_[i].name, record.status());
+  }
+  return record;
+}
+
+Status SessionFleet::HibernateTenant(size_t i) {
+  if (!per_tenant_mode_) {
+    return Status::FailedPrecondition(
+        "hibernation requires BeginPerTenantStepping()");
+  }
+  if (i >= tenants_.size()) {
+    return Status::OutOfRange("tenant index " + std::to_string(i) +
+                              " out of range");
+  }
+  Status status = itrim::HibernateTenant(&tenants_[i]);
+  if (!status.ok()) return TenantStatus(i, specs_[i].name, status);
+  return Status::OK();
+}
+
+Status SessionFleet::RehydrateTenant(size_t i) {
+  if (!per_tenant_mode_) {
+    return Status::FailedPrecondition(
+        "rehydration requires BeginPerTenantStepping()");
+  }
+  if (i >= tenants_.size()) {
+    return Status::OutOfRange("tenant index " + std::to_string(i) +
+                              " out of range");
+  }
+  Status status = itrim::RehydrateTenant(&tenants_[i]);
+  if (!status.ok()) return TenantStatus(i, specs_[i].name, status);
+  return Status::OK();
+}
+
+bool SessionFleet::TenantResident(size_t i) const {
+  return i < tenants_.size() && tenants_[i].resident();
+}
+
+size_t SessionFleet::ResidentTenants() const {
+  size_t n = 0;
+  for (const Tenant& tenant : tenants_) {
+    if (tenant.resident()) ++n;
+  }
+  return n;
+}
+
+Result<std::vector<RoundRecord>> SessionFleet::TenantRounds(size_t i) const {
+  if (i >= tenants_.size()) {
+    return Status::OutOfRange("tenant index " + std::to_string(i) +
+                              " out of range");
+  }
+  if (tenants_[i].resident()) {
+    return tenants_[i].session->round_log().ToVector();
+  }
+  if (tenants_[i].hibernated != nullptr) {
+    return tenants_[i].hibernated->checkpoint.records;
+  }
+  return Status::FailedPrecondition("tenant #" + std::to_string(i) +
+                                    " was never materialized");
 }
 
 Result<FleetRoundAggregate> SessionFleet::StepRound() {
   if (!bootstrapped_) {
     return Status::FailedPrecondition("fleet is not bootstrapped");
+  }
+  if (per_tenant_mode_) {
+    return Status::FailedPrecondition(
+        "fleet is in per-tenant stepping mode; lockstep rounds are "
+        "unavailable (re-Bootstrap() to return to lockstep)");
   }
   const size_t n = tenants_.size();
   step_records_.resize(n);
@@ -176,7 +265,14 @@ FleetSummary SessionFleet::Finish() const {
   benign_loss.reserve(tenants_.size());
   survival.reserve(tenants_.size());
   for (const Tenant& tenant : tenants_) {
-    GameSummary game = tenant.session->Finish();
+    GameSummary game;
+    if (tenant.resident()) {
+      game = tenant.session->Finish();
+    } else if (tenant.hibernated != nullptr) {
+      // Summarize from the parked checkpoint without waking the tenant.
+      game.rounds = tenant.hibernated->checkpoint.records;
+      game.termination_round = tenant.hibernated->termination_round;
+    }
     untrimmed.push_back(game.UntrimmedPoisonFraction());
     benign_loss.push_back(game.BenignLossFraction());
     survival.push_back(game.PoisonSurvivalRate());
@@ -192,6 +288,9 @@ FleetSummary SessionFleet::Finish() const {
 }
 
 FleetCheckpoint SessionFleet::Checkpoint() const {
+  assert(bootstrapped_ && "Checkpoint() before Bootstrap()");
+  assert(!per_tenant_mode_ &&
+         "fleet checkpoints are lockstep-only (sessions at one round)");
   FleetCheckpoint checkpoint;
   checkpoint.next_round = next_round_;
   checkpoint.sessions.reserve(tenants_.size());
@@ -202,19 +301,23 @@ FleetCheckpoint SessionFleet::Checkpoint() const {
 }
 
 Status SessionFleet::Restore(const FleetCheckpoint& checkpoint) {
-  // Rebuild tenants from the specs (fresh strategies/models), then drop
-  // each session onto its checkpointed stream state — session Restore runs
-  // its own bootstrap internally, so the fleet-level bootstrap pass is
-  // skipped here (running it too would do every clean calibration twice).
-  // Session restores replay the recorded observations, so strategy state
-  // is reconstructed exactly; the fleet's aggregates are then recomputed
-  // from the replayed records (tenant order), keeping FleetCheckpoint
-  // minimal.
-  ITRIM_RETURN_NOT_OK(Materialize());
-  if (checkpoint.sessions.size() != tenants_.size()) {
+  // All-or-nothing: the validation phase below inspects the whole
+  // checkpoint against the fleet's config and specs and touches *no*
+  // mutable state — a truncated or corrupt checkpoint is rejected while
+  // the fleet's current stream (if any) remains live and steppable. Only
+  // a checkpoint that passes every check reaches the mutation phase.
+  ITRIM_RETURN_NOT_OK(config_.Validate());
+  if (specs_.empty()) {
+    return Status::InvalidArgument("fleet needs at least one tenant");
+  }
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    Status status = specs_[i].Validate();
+    if (!status.ok()) return TenantStatus(i, specs_[i].name, status);
+  }
+  if (checkpoint.sessions.size() != specs_.size()) {
     return Status::InvalidArgument(
         "checkpoint holds " + std::to_string(checkpoint.sessions.size()) +
-        " sessions for a fleet of " + std::to_string(tenants_.size()));
+        " sessions for a fleet of " + std::to_string(specs_.size()));
   }
   // Lockstep stepping means every session must carry exactly the rounds
   // the fleet played; a checkpoint violating that (hand-edited, corrupted,
@@ -224,17 +327,52 @@ Status SessionFleet::Restore(const FleetCheckpoint& checkpoint) {
   }
   const size_t rounds_played = static_cast<size_t>(checkpoint.next_round - 1);
   for (size_t i = 0; i < checkpoint.sessions.size(); ++i) {
-    if (checkpoint.sessions[i].records.size() != rounds_played ||
-        checkpoint.sessions[i].next_round != checkpoint.next_round) {
+    const SessionCheckpoint& session = checkpoint.sessions[i];
+    if (session.records.size() != rounds_played ||
+        session.next_round != checkpoint.next_round) {
       return Status::InvalidArgument(
           "checkpoint session #" + std::to_string(i) + " holds " +
-          std::to_string(checkpoint.sessions[i].records.size()) +
-          " round records at round " +
-          std::to_string(checkpoint.sessions[i].next_round) +
+          std::to_string(session.records.size()) +
+          " round records at round " + std::to_string(session.next_round) +
           " for a fleet at round " + std::to_string(checkpoint.next_round));
+    }
+    for (size_t r = 0; r < session.records.size(); ++r) {
+      if (session.records[r].round != static_cast<int>(r) + 1) {
+        return Status::InvalidArgument(
+            "checkpoint session #" + std::to_string(i) + " record " +
+            std::to_string(r) + " carries round index " +
+            std::to_string(session.records[r].round) +
+            " (expected " + std::to_string(r + 1) + ")");
+      }
+    }
+    // Board snapshot compatibility with this tenant's configured board —
+    // the same check PublicBoard::Restore enforces, hoisted here so it
+    // rejects before any session has been rebuilt.
+    const size_t capacity = specs_[i].game.board_capacity;
+    if (capacity != 0 && session.board.values.size() > capacity) {
+      return Status::InvalidArgument(
+          "checkpoint session #" + std::to_string(i) + " board snapshot "
+          "holds " + std::to_string(session.board.values.size()) +
+          " values for a board of capacity " + std::to_string(capacity));
+    }
+    if (session.board.total_recorded < session.board.values.size()) {
+      return Status::InvalidArgument(
+          "checkpoint session #" + std::to_string(i) + " board snapshot "
+          "total_recorded " + std::to_string(session.board.total_recorded) +
+          " is below its held value count " +
+          std::to_string(session.board.values.size()));
     }
   }
 
+  // Mutation phase: rebuild tenants from the specs (fresh
+  // strategies/models), then drop each session onto its checkpointed
+  // stream state — session Restore runs its own bootstrap internally, so
+  // the fleet-level bootstrap pass is skipped here (running it too would
+  // do every clean calibration twice). Session restores replay the
+  // recorded observations, so strategy state is reconstructed exactly; the
+  // fleet's aggregates are then recomputed from the replayed records
+  // (tenant order), keeping FleetCheckpoint minimal.
+  ITRIM_RETURN_NOT_OK(Materialize());
   const size_t n = tenants_.size();
   std::vector<Status> statuses(n);
   ParallelForShards(

@@ -127,16 +127,67 @@ class SessionFleet {
   Result<FleetSummary> RunToCompletion();
 
   /// \brief Summary of everything played so far; the fleet remains
-  /// steppable.
+  /// steppable. Hibernated tenants are summarized from their parked
+  /// checkpoints without rehydration.
   FleetSummary Finish() const;
 
   /// \brief Captures the lockstep round counter and every session's
-  /// checkpoint. Requires a successful Bootstrap().
+  /// checkpoint. Requires a successful Bootstrap() and lockstep mode.
   FleetCheckpoint Checkpoint() const;
 
   /// \brief Resumes from a checkpoint of an identically configured fleet;
   /// subsequent StepRounds are bit-identical to the original stream.
+  ///
+  /// All-or-nothing: the whole checkpoint (session count, lockstep round
+  /// alignment, per-session record/board-snapshot shape against this
+  /// fleet's specs) is validated *before* any session is touched, so a
+  /// truncated or corrupt checkpoint is rejected with the fleet's current
+  /// state — including a live, steppable stream — fully intact.
   Status Restore(const FleetCheckpoint& checkpoint);
+
+  // -- Arrival-driven (per-tenant) stepping --------------------------------
+  //
+  // The ingest front-end (src/ingest/) drives tenants individually as their
+  // traffic arrives instead of in lockstep rounds. Per-tenant stepping is
+  // an explicit mode switch: once entered, the lockstep surface (StepRound,
+  // Checkpoint, Restore) is refused — sessions advance at different rates,
+  // so lockstep aggregates and fleet checkpoints would silently mix rounds.
+  // Re-Bootstrap() returns the fleet to lockstep mode.
+  //
+  // Thread-safety contract: after BeginPerTenantStepping(), calls for
+  // *distinct* tenant indices may run concurrently (each touches only that
+  // tenant's objects); calls for the same index must be externally ordered
+  // — the ingest service guarantees this by hashing each tenant to exactly
+  // one shard worker.
+
+  /// \brief Switches a bootstrapped fleet from lockstep rounds to
+  /// per-tenant stepping.
+  Status BeginPerTenantStepping();
+
+  /// \brief Plays one round of tenant `i` only (per-tenant mode). The
+  /// tenant must be resident.
+  Result<RoundRecord> StepTenant(size_t i);
+
+  /// \brief Evicts tenant `i` to its compact checkpoint, releasing its
+  /// session, model and strategies (per-tenant mode).
+  Status HibernateTenant(size_t i);
+
+  /// \brief Rebuilds hibernated tenant `i` and restores its parked state;
+  /// its subsequent stream is bit-identical to never having hibernated.
+  Status RehydrateTenant(size_t i);
+
+  /// \brief True when tenant `i`'s session is live (false = hibernated).
+  bool TenantResident(size_t i) const;
+
+  /// \brief Number of live (non-hibernated) tenant sessions.
+  size_t ResidentTenants() const;
+
+  /// \brief Round records tenant `i` has played so far, resident or
+  /// hibernated (hibernated tenants answer from the parked checkpoint).
+  Result<std::vector<RoundRecord>> TenantRounds(size_t i) const;
+
+  /// \brief True when the fleet is in per-tenant stepping mode.
+  bool per_tenant_mode() const { return per_tenant_mode_; }
 
   const FleetConfig& config() const { return config_; }
   size_t num_tenants() const { return specs_.size(); }
@@ -164,6 +215,9 @@ class SessionFleet {
   std::vector<FleetRoundAggregate> round_aggregates_;
   int next_round_ = 1;
   bool bootstrapped_ = false;
+  // Set by BeginPerTenantStepping() (single-threaded, before any worker
+  // runs) and cleared by Bootstrap(); read-only while workers step.
+  bool per_tenant_mode_ = false;
   // StepRound scratch, sized to the tenant count once and reused every
   // round: per-tenant result/status slots plus the reduction's rate
   // vectors. With these (and the sessions' own scratch) a steady-state

@@ -102,4 +102,43 @@ Result<Tenant> MaterializeTenant(const TenantSpec& spec, uint64_t seed) {
   return tenant;
 }
 
+Status HibernateTenant(Tenant* tenant) {
+  if (!tenant->resident()) {
+    return Status::FailedPrecondition("tenant is already hibernated");
+  }
+  if (!tenant->session->bootstrapped()) {
+    return Status::FailedPrecondition(
+        "cannot hibernate an un-bootstrapped tenant");
+  }
+  auto parked = std::make_unique<TenantHibernation>();
+  parked->checkpoint = tenant->session->Checkpoint();
+  parked->termination_round = tenant->scheme.collector->termination_round();
+  // Release the live objects only after the checkpoint is safely captured;
+  // the session borrows the model and strategies, so it goes first.
+  tenant->session.reset();
+  tenant->model.reset();
+  tenant->scheme = SchemeInstance{};
+  tenant->hibernated = std::move(parked);
+  return Status::OK();
+}
+
+Status RehydrateTenant(Tenant* tenant) {
+  if (tenant->resident()) {
+    return Status::FailedPrecondition("tenant is already resident");
+  }
+  if (tenant->hibernated == nullptr) {
+    return Status::FailedPrecondition(
+        "tenant was never materialized/hibernated");
+  }
+  // Build the fresh tenant on the side so a failed restore leaves this one
+  // parked and intact. The effective config's seed is the derived seed the
+  // tenant originally ran with, so the rebuilt bootstrap replays the exact
+  // round-0 draws the checkpoint's stream continued from.
+  ITRIM_ASSIGN_OR_RETURN(Tenant fresh,
+                         MaterializeTenant(tenant->spec, tenant->config.seed));
+  ITRIM_RETURN_NOT_OK(fresh.session->Restore(tenant->hibernated->checkpoint));
+  *tenant = std::move(fresh);  // drops `hibernated` (fresh's is null)
+  return Status::OK();
+}
+
 }  // namespace itrim

@@ -73,16 +73,33 @@ struct TenantSpec {
   Status Validate() const;
 };
 
+/// \brief Compact parked state of a hibernated tenant: the session
+/// checkpoint (board values + round records + RNG) plus the one summary
+/// field the checkpoint cannot reconstruct without the live collector.
+/// Everything else — strategies, score-model geometry and pools, the
+/// board's order-statistic index — is rebuilt on rehydration.
+struct TenantHibernation {
+  SessionCheckpoint checkpoint;
+  int termination_round = 0;
+};
+
 /// \brief A materialized tenant: owned strategies, score model and session.
 ///
 /// Movable, not copyable. The session borrows the other members, which are
 /// heap-owned, so moving a Tenant keeps every borrowed pointer valid.
+///
+/// A tenant is either *resident* (session/model/strategies live,
+/// `hibernated` null) or *hibernated* (live objects released, state parked
+/// in `hibernated`); HibernateTenant/RehydrateTenant flip between the two.
 struct Tenant {
   TenantSpec spec;             ///< the spec this tenant was built from
   GameConfig config;           ///< effective config (derived seed applied)
   SchemeInstance scheme;       ///< owned collector/adversary/quality
   std::unique_ptr<ScoreModel> model;
   std::unique_ptr<TrimmingSession> session;
+  std::unique_ptr<TenantHibernation> hibernated;
+
+  bool resident() const { return session != nullptr; }
 };
 
 /// \brief Deterministic per-tenant seed stream: a pure function of the
@@ -97,6 +114,18 @@ uint64_t DeriveTenantSeed(uint64_t fleet_seed, size_t tenant_index);
 /// AdversaryStrategy (their attack materializes poison itself) and with
 /// board-reference trimming semantics.
 Result<Tenant> MaterializeTenant(const TenantSpec& spec, uint64_t seed);
+
+/// \brief Evicts a quiet tenant to its compact checkpoint: captures the
+/// session state, then releases the session, score model and strategies.
+/// Requires a resident, bootstrapped tenant. The tenant's spec and
+/// effective config stay behind, so rehydration needs no external input.
+Status HibernateTenant(Tenant* tenant);
+
+/// \brief Rebuilds a hibernated tenant from its spec and restores the
+/// parked checkpoint; the subsequent stream is bit-identical to never
+/// having hibernated (the session checkpoint/restore contract). On error
+/// the tenant is left untouched (still hibernated).
+Status RehydrateTenant(Tenant* tenant);
 
 }  // namespace itrim
 

@@ -1,0 +1,357 @@
+#include "ingest/ingest.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace itrim {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// SplitMix64 finalizer: tenant ids are often dense small integers, so the
+// raw id modulo shards would stripe neighboring tenants onto neighboring
+// shards; the mix spreads any id pattern uniformly.
+uint64_t MixTenantId(uint64_t id) {
+  uint64_t z = id + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void EncodeIngestEvent(const IngestEvent& event,
+                       unsigned char out[kIngestFrameBytes]) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(event.tenant_id >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out[8 + i] = static_cast<unsigned char>(event.reports >> (8 * i));
+  }
+}
+
+Result<IngestEvent> DecodeIngestEvent(const unsigned char* data, size_t size) {
+  if (data == nullptr || size != kIngestFrameBytes) {
+    return Status::InvalidArgument(
+        "ingest frame must be exactly " + std::to_string(kIngestFrameBytes) +
+        " bytes, got " + std::to_string(size));
+  }
+  IngestEvent event;
+  event.tenant_id = 0;
+  for (int i = 0; i < 8; ++i) {
+    event.tenant_id |= static_cast<uint64_t>(data[i]) << (8 * i);
+  }
+  event.reports = 0;
+  for (int i = 0; i < 4; ++i) {
+    event.reports |= static_cast<uint32_t>(data[8 + i]) << (8 * i);
+  }
+  if (event.reports == 0) {
+    return Status::InvalidArgument("ingest frame carries zero reports");
+  }
+  return event;
+}
+
+Status IngestConfig::Validate() const {
+  if (shards < 0) {
+    return Status::InvalidArgument("shards must be >= 0");
+  }
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (batch_max == 0) {
+    return Status::InvalidArgument("batch_max must be >= 1");
+  }
+  if (rate_limit_per_sec < 0.0) {
+    return Status::InvalidArgument("rate_limit_per_sec must be >= 0");
+  }
+  if (rate_limit_burst < 0.0) {
+    return Status::InvalidArgument("rate_limit_burst must be >= 0");
+  }
+  return Status::OK();
+}
+
+IngestService::IngestService(IngestConfig config, SessionFleet* fleet)
+    : config_(std::move(config)), fleet_(fleet) {}
+
+IngestService::~IngestService() { Stop(); }
+
+size_t IngestService::ShardOf(uint64_t tenant_id) const {
+  return static_cast<size_t>(MixTenantId(tenant_id) % shards_.size());
+}
+
+Status IngestService::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("ingest service already started");
+  }
+  ITRIM_RETURN_NOT_OK(config_.Validate());
+  if (fleet_ == nullptr) {
+    return Status::InvalidArgument("ingest service needs a fleet");
+  }
+  if (!fleet_->bootstrapped()) {
+    return Status::FailedPrecondition(
+        "fleet must be bootstrapped before ingestion starts");
+  }
+  ITRIM_RETURN_NOT_OK(fleet_->BeginPerTenantStepping());
+
+  const int shard_count =
+      config_.shards > 0 ? config_.shards : DefaultNumThreads();
+  start_resident_ = fleet_->ResidentTenants();
+  stopping_.store(false, std::memory_order_relaxed);
+  stop_status_ = Status::OK();
+  shards_.clear();
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+  }
+  // Home assignment before any worker runs: every tenant belongs to
+  // exactly one shard, so per-tenant event order is total and tenant
+  // state is never touched by two threads.
+  for (size_t i = 0; i < fleet_->num_tenants(); ++i) {
+    Shard& shard = *shards_[ShardOf(i)];
+    shard.owned.push_back(i);
+    if (fleet_->TenantResident(i)) ++shard.resident_owned;
+  }
+  started_ = true;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->worker = std::thread([this, s] { WorkerLoop(s); });
+  }
+  return Status::OK();
+}
+
+Status IngestService::Admit(const IngestEvent& event, bool blocking) {
+  if (!started_ || stopping_.load(std::memory_order_relaxed)) {
+    events_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("ingest service is not running");
+  }
+  if (event.reports == 0) {
+    events_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("event carries zero reports");
+  }
+  if (event.tenant_id >= fleet_->num_tenants()) {
+    events_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("unknown tenant id " +
+                                   std::to_string(event.tenant_id));
+  }
+  Shard& shard = *shards_[ShardOf(event.tenant_id)];
+  const bool pushed =
+      blocking ? shard.queue.Push(event) : shard.queue.TryPush(event);
+  if (!pushed) {
+    events_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (stopping_.load(std::memory_order_relaxed) || shard.queue.closed()) {
+      return Status::FailedPrecondition("ingest service is stopping");
+    }
+    return Status::Unavailable("ingest shard queue is full");
+  }
+  shard.submitted.fetch_add(1, std::memory_order_release);
+  shard.events_accepted.fetch_add(1, std::memory_order_relaxed);
+  shard.reports_enqueued.fetch_add(event.reports, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status IngestService::Submit(const IngestEvent& event) {
+  return Admit(event, /*blocking=*/true);
+}
+
+Status IngestService::TrySubmit(const IngestEvent& event) {
+  return Admit(event, /*blocking=*/false);
+}
+
+Status IngestService::SubmitFrame(const unsigned char* data, size_t size) {
+  ITRIM_ASSIGN_OR_RETURN(IngestEvent event, DecodeIngestEvent(data, size));
+  return Submit(event);
+}
+
+bool IngestService::DrainLane(Shard& shard, uint64_t tenant_id,
+                              TenantLane& lane) {
+  const size_t i = static_cast<size_t>(tenant_id);
+  const uint32_t round_size = static_cast<uint32_t>(lane.round_size);
+  while (lane.pending >= round_size) {
+    if (!fleet_->TenantResident(i)) {
+      Status status = fleet_->RehydrateTenant(i);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(shard.error_mu);
+        if (shard.error.ok()) shard.error = status;
+        lane.pending = 0;  // drop; retrying every batch would spin
+        return false;
+      }
+      shard.rehydrations.fetch_add(1, std::memory_order_relaxed);
+      ++shard.resident_owned;
+    }
+    Result<RoundRecord> record = fleet_->StepTenant(i);
+    if (!record.ok()) {
+      std::lock_guard<std::mutex> lock(shard.error_mu);
+      if (shard.error.ok()) shard.error = record.status();
+      lane.pending = 0;
+      return false;
+    }
+    shard.rounds_played.fetch_add(1, std::memory_order_relaxed);
+    lane.pending -= round_size;
+  }
+  return true;
+}
+
+void IngestService::EnforceResidency(Shard& shard) {
+  if (config_.max_resident_per_shard == 0) return;
+  while (shard.resident_owned > config_.max_resident_per_shard) {
+    // Least-recently-active owned tenant; tenants with no traffic yet
+    // stamp 0, so they hibernate first. Ties break on the smaller id for
+    // a deterministic eviction order.
+    uint64_t victim = 0;
+    uint64_t victim_stamp = 0;
+    bool found = false;
+    for (uint64_t id : shard.owned) {
+      if (!fleet_->TenantResident(static_cast<size_t>(id))) continue;
+      auto it = shard.lanes.find(id);
+      const uint64_t stamp = it == shard.lanes.end() ? 0 : it->second.last_active_batch;
+      if (!found || stamp < victim_stamp ||
+          (stamp == victim_stamp && id < victim)) {
+        victim = id;
+        victim_stamp = stamp;
+        found = true;
+      }
+    }
+    if (!found) return;
+    Status status = fleet_->HibernateTenant(static_cast<size_t>(victim));
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(shard.error_mu);
+      if (shard.error.ok()) shard.error = status;
+      return;
+    }
+    shard.hibernations.fetch_add(1, std::memory_order_relaxed);
+    --shard.resident_owned;
+  }
+}
+
+void IngestService::WorkerLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  const double rate = config_.rate_limit_per_sec;
+  const double burst = config_.rate_limit_burst > 0.0
+                           ? config_.rate_limit_burst
+                           : std::max(1.0, rate);
+  std::vector<IngestEvent> batch;
+  batch.reserve(config_.batch_max);
+  uint64_t batch_counter = 0;
+
+  for (;;) {
+    batch.clear();
+    const size_t taken = shard.queue.PopBatch(&batch, config_.batch_max);
+    if (taken == 0) break;  // closed and fully drained
+    ++batch_counter;
+    const int64_t now_ns = SteadyNowNs();
+
+    for (const IngestEvent& event : batch) {
+      TenantLane& lane = shard.lanes[event.tenant_id];
+      if (lane.round_size == 0) {  // first arrival: set up the lane
+        lane.round_size =
+            fleet_->tenant(static_cast<size_t>(event.tenant_id))
+                .config.round_size;
+        lane.tokens = burst;  // buckets start full
+        lane.last_refill_ns = now_ns;
+      }
+      lane.last_active_batch = batch_counter;
+
+      uint32_t admitted = event.reports;
+      if (rate > 0.0) {
+        const double elapsed =
+            static_cast<double>(now_ns - lane.last_refill_ns) * 1e-9;
+        lane.tokens = std::min(burst, lane.tokens + elapsed * rate);
+        lane.last_refill_ns = now_ns;
+        if (lane.tokens >= static_cast<double>(event.reports)) {
+          lane.tokens -= static_cast<double>(event.reports);
+        } else {
+          admitted = 0;
+          shard.reports_rate_limited.fetch_add(event.reports,
+                                               std::memory_order_relaxed);
+        }
+      }
+      lane.pending += admitted;
+      if (lane.round_size > 0 &&
+          lane.pending >= static_cast<uint32_t>(lane.round_size)) {
+        DrainLane(shard, event.tenant_id, lane);
+      }
+    }
+
+    EnforceResidency(shard);
+    shard.processed.fetch_add(taken, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+    }
+    flush_cv_.notify_all();
+  }
+}
+
+Status IngestService::Flush() {
+  if (!started_) {
+    return Status::FailedPrecondition("ingest service is not running");
+  }
+  std::vector<uint64_t> targets(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    targets[s] = shards_[s]->submitted.load(std::memory_order_acquire);
+  }
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [&] {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s]->processed.load(std::memory_order_acquire) < targets[s]) {
+        return false;
+      }
+    }
+    return true;
+  });
+  return Status::OK();
+}
+
+Status IngestService::Stop() {
+  if (!started_) return stop_status_;
+  if (!stopping_.exchange(true)) {
+    for (auto& shard : shards_) shard->queue.Close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  Status first = Status::OK();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->error_mu);
+    if (first.ok() && !shard->error.ok()) first = shard->error;
+  }
+  stop_status_ = first;
+  started_ = false;
+  return stop_status_;
+}
+
+IngestStats IngestService::Stats() const {
+  IngestStats stats;
+  stats.events_rejected = events_rejected_.load(std::memory_order_relaxed);
+  stats.resident_tenants = start_resident_;
+  for (const auto& shard : shards_) {
+    stats.events_accepted +=
+        shard->events_accepted.load(std::memory_order_relaxed);
+    stats.reports_enqueued +=
+        shard->reports_enqueued.load(std::memory_order_relaxed);
+    stats.reports_rate_limited +=
+        shard->reports_rate_limited.load(std::memory_order_relaxed);
+    stats.rounds_played += shard->rounds_played.load(std::memory_order_relaxed);
+    // Rehydrations first: every rehydration is preceded by its
+    // hibernation on the same shard, so this read order keeps
+    // hibernations >= rehydrations even while the worker is flipping
+    // tenants between the two loads.
+    const uint64_t rehydrations =
+        shard->rehydrations.load(std::memory_order_relaxed);
+    const uint64_t hibernations =
+        shard->hibernations.load(std::memory_order_relaxed);
+    stats.hibernations += hibernations;
+    stats.rehydrations += rehydrations;
+    stats.resident_tenants -= static_cast<size_t>(hibernations - rehydrations);
+  }
+  return stats;
+}
+
+}  // namespace itrim

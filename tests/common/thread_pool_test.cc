@@ -144,6 +144,103 @@ TEST(ParallelForTest, NestedCallsFallBackToSerial) {
   EXPECT_EQ(counter.load(), 32);
 }
 
+// -- Shutdown-path audit pins (the lost-wakeup / lost-task regressions) ----
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndJoins) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) pool.Submit([&counter] { ++counter; });
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 20);  // queue drained before the join
+  pool.Shutdown();  // second call must be a no-op, not a hang or crash
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownStillResolvesTheFuture) {
+  // The lost-task hang this pins: a task enqueued after the workers have
+  // seen stop_ and exited would sit unexecuted forever and its future
+  // would never resolve. Post-shutdown Submits must run inline instead.
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> counter{0};
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  auto f = pool.Submit([&] {
+    ++counter;
+    ran_on = std::this_thread::get_id();
+  });
+  f.wait();  // must not hang
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(ran_on, caller);
+
+  // The inline path routes exceptions into the future like a worker would.
+  auto g = pool.Submit([] { throw std::runtime_error("late"); });
+  EXPECT_THROW(g.get(), std::runtime_error);
+}
+
+TEST(ParallelForShardsTest, ShardCountBelowJobCountVisitsEverythingOnce) {
+  // shard_size large enough that num_shards < jobs: the excess jobs must
+  // idle out, not deadlock or double-visit.
+  for (size_t shard_size : {static_cast<size_t>(100), static_cast<size_t>(7),
+                            static_cast<size_t>(1)}) {
+    for (int jobs : {1, 4, 8}) {
+      std::vector<std::atomic<int>> hits(23);
+      for (auto& h : hits) h = 0;
+      ParallelForShards(
+          hits.size(), shard_size,
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) ++hits[i];
+          },
+          jobs);
+      for (size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "index " << i << " shard_size " << shard_size << " jobs "
+            << jobs;
+      }
+    }
+  }
+}
+
+TEST(ParallelForShardsTest, SingleElementAndAutoShardSize) {
+  // n == 1 takes the serial fast path regardless of the job request.
+  std::atomic<int> hits{0};
+  ParallelForShards(
+      1, 0, [&](size_t begin, size_t end) {
+        hits += static_cast<int>(end - begin);
+      },
+      8);
+  EXPECT_EQ(hits.load(), 1);
+  ParallelForShards(0, 0, [&](size_t, size_t) { ++hits; }, 8);
+  EXPECT_EQ(hits.load(), 1);  // empty range is a no-op
+}
+
+TEST(ParallelForShardsTest, ExceptionInAShardPropagates) {
+  // The exception path must release every runner (pool helpers and the
+  // caller) before rethrowing — a lost wakeup here hangs the test.
+  for (int jobs : {1, 4}) {
+    EXPECT_THROW(
+        ParallelForShards(
+            64, 4,
+            [](size_t begin, size_t) {
+              if (begin >= 32) throw std::runtime_error("shard boom");
+            },
+            jobs),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelForTest, JobsExceedingPoolSizeStillComplete) {
+  // Requests wider than the shared pool spawn dedicated helper threads;
+  // all of them must be joined even when the work is trivial.
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; },
+              ThreadPool::Global()->num_threads() + 7);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
 TEST(DefaultNumThreadsTest, PositiveAndRespectsEnv) {
   EXPECT_GE(DefaultNumThreads(), 1);
 #if !defined(_WIN32)

@@ -172,7 +172,8 @@ TEST_F(SessionFleetTest, CheckpointRestoreResumesBitIdentically) {
 
 // A checkpoint whose round counter disagrees with the per-session record
 // counts (hand-edited, corrupted, or non-lockstep) must be rejected, not
-// fed into the aggregate rebuild.
+// fed into the aggregate rebuild — and the rejection must leave the
+// fleet's live state untouched (all-or-nothing Restore).
 TEST_F(SessionFleetTest, RestoreRejectsInconsistentRoundCounts) {
   FleetConfig config;
   config.rounds = 4;
@@ -185,7 +186,7 @@ TEST_F(SessionFleetTest, RestoreRejectsInconsistentRoundCounts) {
   FleetCheckpoint inflated = checkpoint;
   inflated.next_round = 7;  // sessions only carry 2 round records
   EXPECT_EQ(fleet.Restore(inflated).code(), StatusCode::kInvalidArgument);
-  EXPECT_FALSE(fleet.bootstrapped());
+  EXPECT_TRUE(fleet.bootstrapped());
 
   FleetCheckpoint negative = checkpoint;
   negative.next_round = 0;
@@ -195,6 +196,13 @@ TEST_F(SessionFleetTest, RestoreRejectsInconsistentRoundCounts) {
   FleetCheckpoint skewed = checkpoint;
   skewed.sessions[1].next_round = 9;
   EXPECT_EQ(fleet.Restore(skewed).code(), StatusCode::kInvalidArgument);
+
+  // Record round indices that don't count 1..k betray a reordered or
+  // hand-spliced record log.
+  FleetCheckpoint shuffled = checkpoint;
+  shuffled.sessions[0].records[0].round = 2;
+  shuffled.sessions[0].records[1].round = 1;
+  EXPECT_EQ(fleet.Restore(shuffled).code(), StatusCode::kInvalidArgument);
 
   // The untouched checkpoint still restores fine afterwards.
   ASSERT_TRUE(fleet.Restore(checkpoint).ok());
@@ -212,7 +220,73 @@ TEST_F(SessionFleetTest, RestoreRejectsTenantCountMismatch) {
   checkpoint.sessions.pop_back();
   Status status = fleet.Restore(checkpoint);
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
-  EXPECT_FALSE(fleet.bootstrapped());
+  // All-or-nothing: the rejected restore must not have torn down the
+  // live fleet.
+  EXPECT_TRUE(fleet.bootstrapped());
+  EXPECT_EQ(fleet.next_round(), 2);
+}
+
+TEST_F(SessionFleetTest, RestoreRejectsOversizedBoardSnapshot) {
+  FleetConfig config;
+  config.rounds = 3;
+  std::vector<TenantSpec> specs = HeterogeneousSpecs(3);
+  for (TenantSpec& spec : specs) spec.game.board_capacity = 64;
+  SessionFleet fleet(config, specs);
+  ASSERT_TRUE(fleet.Bootstrap().ok());
+  ASSERT_TRUE(fleet.StepRound().ok());
+  FleetCheckpoint checkpoint = fleet.Checkpoint();
+
+  FleetCheckpoint oversized = checkpoint;
+  oversized.sessions[2].board.values.resize(
+      65, oversized.sessions[2].board.values.empty()
+              ? 0.0
+              : oversized.sessions[2].board.values.back());
+  oversized.sessions[2].board.total_recorded = 65;
+  EXPECT_EQ(fleet.Restore(oversized).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(fleet.bootstrapped());
+
+  // A board claiming fewer total recordings than values it holds is
+  // internally inconsistent.
+  FleetCheckpoint shrunk = checkpoint;
+  shrunk.sessions[0].board.total_recorded = 0;
+  if (!shrunk.sessions[0].board.values.empty()) {
+    EXPECT_EQ(fleet.Restore(shrunk).code(), StatusCode::kInvalidArgument);
+  }
+
+  ASSERT_TRUE(fleet.Restore(checkpoint).ok());
+}
+
+// The regression the all-or-nothing contract exists for: a corrupted
+// checkpoint thrown at a mid-stream fleet must bounce off — the fleet
+// keeps stepping and finishes bit-identical to a never-interrupted run.
+TEST_F(SessionFleetTest, RejectedRestoreLeavesFleetBitIdentical) {
+  FleetConfig config;
+  config.rounds = 6;
+  SessionFleet reference(config, HeterogeneousSpecs(6));
+  FleetSummary full = reference.RunToCompletion().ValueOrDie();
+
+  SessionFleet fleet(config, HeterogeneousSpecs(6));
+  ASSERT_TRUE(fleet.Bootstrap().ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(fleet.StepRound().ok());
+
+  // Corrupt a copy of the fleet's own checkpoint three different ways and
+  // throw each at the live fleet.
+  FleetCheckpoint checkpoint = fleet.Checkpoint();
+  FleetCheckpoint truncated = checkpoint;
+  truncated.sessions.pop_back();
+  EXPECT_FALSE(fleet.Restore(truncated).ok());
+  FleetCheckpoint inflated = checkpoint;
+  inflated.next_round = 99;
+  EXPECT_FALSE(fleet.Restore(inflated).ok());
+  FleetCheckpoint skewed = checkpoint;
+  skewed.sessions[0].records.pop_back();
+  EXPECT_FALSE(fleet.Restore(skewed).ok());
+
+  // The fleet never noticed: remaining rounds play out bit-identically.
+  EXPECT_TRUE(fleet.bootstrapped());
+  EXPECT_EQ(fleet.next_round(), 4);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(fleet.StepRound().ok());
+  ExpectFleetSummaryBitIdentical(full, fleet.Finish());
 }
 
 // --------------------------------------------------------------------------

@@ -12,6 +12,12 @@ Compares a freshly emitted bench report against a checked-in baseline
   * a gated baseline case missing from the current report (a silently
     dropped bench would otherwise "pass" forever).
 
+Cases present in the current report but absent from the baseline cannot
+gate (there is nothing to compare against); they are always listed in the
+output so a case rename or an un-baselined bench is visible, and with
+--strict they fail the gate — the nightly job runs strict so every
+emitted case is forced to carry a baseline entry.
+
 Which cases gate throughput is controlled by the baseline file itself: a
 case gates iff it carries timing (ops > 0 and wall_ms > 0). Correctness
 cases (pass = 1, no timing) only gate on presence.
@@ -102,6 +108,10 @@ def main():
         type=float,
         default=float(os.environ.get("ITRIM_BENCH_GATE_TOLERANCE", "0.35")),
         help="allowed fractional throughput regression (default 0.35)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail when the current report carries cases the baseline does "
+             "not (otherwise they are only listed)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -150,6 +160,18 @@ def main():
                     "steady-state contract broke")
             else:
                 print(f"{name}: steady-state allocations 0 -> ok")
+
+    unbaselined = sorted(set(cur_cases) - set(base_cases))
+    if unbaselined:
+        print(f"\n{len(unbaselined)} case(s) have no baseline entry and "
+              "were not gated:")
+        for name in unbaselined:
+            print(f"  ? {name}")
+        if args.strict:
+            failures.append(
+                f"{len(unbaselined)} current case(s) missing from the "
+                f"baseline ({', '.join(repr(n) for n in unbaselined)}) — "
+                "refresh bench/baselines/ or drop the cases (--strict)")
 
     if checked == 0:
         failures.append("baseline contains no gateable cases — refusing to "
