@@ -9,6 +9,7 @@
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 #include "data/generators.h"
+#include "exp/score_model_factory.h"
 #include "game/score_model.h"
 #include "game/session.h"
 #include "ldp/attacks.h"
@@ -133,14 +134,16 @@ Result<KmeansExperimentResult> RunKmeansExperiment(
             config.seed + static_cast<uint64_t>(rep) * 104729 +
                 static_cast<uint64_t>(id) * 31 +
                 static_cast<uint64_t>(ratio * 10000.0) * 131);
-        // Experiments drive the streaming engine directly (the batch
-        // adapters are bit-identical sugar over the same session).
-        DistanceScoreModel game_model(&data);
-        TrimmingSession session(game_config, &game_model,
-                                scheme.collector.get(),
-                                scheme.adversary.get(), scheme.quality.get());
-        ITRIM_RETURN_NOT_OK(session.RunToCompletion().status());
-        const Dataset& retained = game_model.retained_data();
+        // Experiments go through the factory-driven scheme runner (the
+        // batch adapters are bit-identical sugar over the same session).
+        std::unique_ptr<ScoreModel> game_model;
+        ITRIM_RETURN_NOT_OK(
+            RunSchemeSession(game_config, &scheme, ModelKind::kDistance,
+                             DistanceInputs(&data), &game_model)
+                .status());
+        const Dataset& retained =
+            static_cast<const DistanceScoreModel&>(*game_model)
+                .retained_data();
         if (retained.rows.size() < km.k) {
           return Status::Internal("scheme " + SchemeName(id) +
                                   " retained too few rows");
@@ -226,15 +229,18 @@ Result<SvmExperimentResult> RunSvmExperiment(const SvmExperimentConfig& c) {
             c.rounds, c.round_size, c.attack_ratio, c.tth,
             c.seed + static_cast<uint64_t>(rep) * 104729 +
                 static_cast<uint64_t>(id) * 61);
-        DistanceScoreModel game_model(&data);
-        TrimmingSession session(game_config, &game_model,
-                                scheme.collector.get(),
-                                scheme.adversary.get(), scheme.quality.get());
-        ITRIM_RETURN_NOT_OK(session.RunToCompletion().status());
+        std::unique_ptr<ScoreModel> game_model;
+        ITRIM_RETURN_NOT_OK(
+            RunSchemeSession(game_config, &scheme, ModelKind::kDistance,
+                             DistanceInputs(&data), &game_model)
+                .status());
         LinearSvm model;
-        ITRIM_ASSIGN_OR_RETURN(model,
-                               LinearSvm::Train(game_model.retained_data(),
-                                                svm_config));
+        ITRIM_ASSIGN_OR_RETURN(
+            model,
+            LinearSvm::Train(static_cast<const DistanceScoreModel&>(
+                                 *game_model)
+                                 .retained_data(),
+                             svm_config));
         arms[arm].accuracy = model.Evaluate(data);
         for (size_t i = 0; i < data.rows.size(); ++i) {
           arms[arm].cm.Add(static_cast<size_t>(data.labels[i]),
@@ -306,12 +312,14 @@ Result<SomExperimentResult> RunSomExperiment(const SomExperimentConfig& c) {
             c.rounds, c.round_size, c.attack_ratio, c.tth,
             c.seed + static_cast<uint64_t>(id) * 101 +
                 static_cast<uint64_t>(rep) * 104729);
-        DistanceScoreModel game_model(&data);
-        TrimmingSession session(game_config, &game_model,
-                                scheme.collector.get(),
-                                scheme.adversary.get(), scheme.quality.get());
+        std::unique_ptr<ScoreModel> game_model_owner;
         GameSummary summary;
-        ITRIM_ASSIGN_OR_RETURN(summary, session.RunToCompletion());
+        ITRIM_ASSIGN_OR_RETURN(
+            summary,
+            RunSchemeSession(game_config, &scheme, ModelKind::kDistance,
+                             DistanceInputs(&data), &game_model_owner));
+        const auto& game_model =
+            static_cast<const DistanceScoreModel&>(*game_model_owner);
 
         arms[arm].untrimmed_poison_fraction =
             summary.UntrimmedPoisonFraction();
@@ -401,8 +409,10 @@ Result<std::vector<NonEquilibriumRow>> RunNonEquilibriumExperiment(
         NoisyDefectShareQuality quality(
             0.90, 0.99, config.sigma0, config.sigma_tail, seed ^ 0xBEEF,
             DefectShareQuality::CutoffMode::kAbsolute);
-        DistanceScoreModel model_tft(&data);
-        TrimmingSession game_tft(game_config, &model_tft, &titfortat,
+        ITRIM_ASSIGN_OR_RETURN(
+            std::unique_ptr<ScoreModel> model_tft,
+            MakeScoreModel(ModelKind::kDistance, DistanceInputs(&data)));
+        TrimmingSession game_tft(game_config, model_tft.get(), &titfortat,
                                  &adversary_tft, &quality);
         GameSummary tft;
         ITRIM_ASSIGN_OR_RETURN(tft, game_tft.RunToCompletion());
@@ -417,8 +427,10 @@ Result<std::vector<NonEquilibriumRow>> RunNonEquilibriumExperiment(
         MixedPercentileAdversary adversary_ela(p);
         GameConfig elastic_config = game_config;
         elastic_config.seed = seed ^ 0xD00D;
-        DistanceScoreModel model_ela(&data);
-        TrimmingSession game_ela(elastic_config, &model_ela, &elastic,
+        ITRIM_ASSIGN_OR_RETURN(
+            std::unique_ptr<ScoreModel> model_ela,
+            MakeScoreModel(ModelKind::kDistance, DistanceInputs(&data)));
+        TrimmingSession game_ela(elastic_config, model_ela.get(), &elastic,
                                  &adversary_ela, nullptr);
         GameSummary ela;
         ITRIM_ASSIGN_OR_RETURN(ela, game_ela.RunToCompletion());

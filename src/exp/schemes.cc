@@ -76,10 +76,26 @@ SchemeInstance MakeScheme(SchemeId id, double tth,
 
 Result<GameSummary> RunSchemeSession(const GameConfig& config,
                                      SchemeInstance* scheme,
-                                     ScoreModel* model) {
+                                     ScoreModel* model,
+                                     ReferencePolicy* reference) {
   TrimmingSession session(config, model, scheme->collector.get(),
-                          scheme->adversary.get(), scheme->quality.get());
+                          scheme->adversary.get(), scheme->quality.get(),
+                          reference);
   return session.RunToCompletion();
+}
+
+Result<GameSummary> RunSchemeSession(const GameConfig& config,
+                                     SchemeInstance* scheme, ModelKind kind,
+                                     const ScoreModelInputs& inputs,
+                                     std::unique_ptr<ScoreModel>* model_out,
+                                     ReferencePolicy* reference) {
+  ITRIM_ASSIGN_OR_RETURN(std::unique_ptr<ScoreModel> model,
+                         MakeScoreModel(kind, inputs));
+  ITRIM_ASSIGN_OR_RETURN(
+      GameSummary summary,
+      RunSchemeSession(config, scheme, model.get(), reference));
+  if (model_out != nullptr) *model_out = std::move(model);
+  return summary;
 }
 
 std::vector<SchemeId> PlottedSchemes() {

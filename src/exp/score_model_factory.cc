@@ -1,0 +1,93 @@
+#include "exp/score_model_factory.h"
+
+#include "ldp/report_score_model.h"
+
+namespace itrim {
+
+std::string ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kScalar:
+      return "scalar";
+    case ModelKind::kDistance:
+      return "distance";
+    case ModelKind::kLdp:
+      return "ldp";
+    case ModelKind::kResidual:
+      return "residual";
+  }
+  return "unknown";
+}
+
+Status ValidateScoreModelInputs(ModelKind kind,
+                                const ScoreModelInputs& inputs) {
+  switch (kind) {
+    case ModelKind::kScalar:
+      if (inputs.scalar_pool == nullptr || inputs.scalar_pool->empty()) {
+        return Status::InvalidArgument(
+            "scalar model needs a non-empty scalar_pool");
+      }
+      break;
+    case ModelKind::kDistance:
+      if (inputs.dataset == nullptr || inputs.dataset->rows.empty()) {
+        return Status::InvalidArgument(
+            "distance model needs a non-empty dataset");
+      }
+      break;
+    case ModelKind::kLdp:
+      if (inputs.ldp_population == nullptr ||
+          inputs.ldp_population->empty()) {
+        return Status::InvalidArgument(
+            "ldp model needs a non-empty ldp_population");
+      }
+      if (inputs.ldp_mechanism == nullptr) {
+        return Status::InvalidArgument("ldp model needs an ldp_mechanism");
+      }
+      if (!(inputs.ldp_tth > 0.0 && inputs.ldp_tth < 1.0)) {
+        return Status::InvalidArgument("ldp model needs ldp_tth in (0,1)");
+      }
+      break;
+    case ModelKind::kResidual:
+      if (inputs.regression == nullptr || inputs.regression->size() == 0) {
+        return Status::InvalidArgument(
+            "residual model needs non-empty regression data");
+      }
+      if (inputs.regression->dims == 0) {
+        return Status::InvalidArgument(
+            "residual model needs regression data with dims >= 1");
+      }
+      if (inputs.regression->xs.size() !=
+          inputs.regression->size() * inputs.regression->dims) {
+        return Status::InvalidArgument(
+            "residual model regression data shape mismatch (xs must hold "
+            "size() * dims doubles)");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ScoreModel>> MakeScoreModel(
+    ModelKind kind, const ScoreModelInputs& inputs) {
+  ITRIM_RETURN_NOT_OK(ValidateScoreModelInputs(kind, inputs));
+  std::unique_ptr<ScoreModel> model;
+  switch (kind) {
+    case ModelKind::kScalar:
+      model = std::make_unique<IdentityScoreModel>(inputs.scalar_pool);
+      break;
+    case ModelKind::kDistance:
+      model = std::make_unique<DistanceScoreModel>(inputs.dataset);
+      break;
+    case ModelKind::kLdp:
+      model = std::make_unique<LdpReportScoreModel>(
+          inputs.ldp_population, inputs.ldp_mechanism, inputs.ldp_attack,
+          inputs.ldp_tth);
+      break;
+    case ModelKind::kResidual:
+      model = std::make_unique<ResidualScoreModel>(inputs.regression,
+                                                   inputs.regression_poison);
+      break;
+  }
+  return model;
+}
+
+}  // namespace itrim

@@ -3,53 +3,51 @@
 #include <utility>
 
 #include "common/rng.h"
-#include "ldp/report_score_model.h"
 
 namespace itrim {
 
 std::string TenantModelKindName(TenantModelKind kind) {
-  switch (kind) {
-    case TenantModelKind::kScalar:
-      return "scalar";
-    case TenantModelKind::kDistance:
-      return "distance";
-    case TenantModelKind::kLdp:
-      return "ldp";
-  }
-  return "unknown";
+  return ModelKindName(kind);
+}
+
+ScoreModelInputs TenantSpec::ModelInputs() const {
+  ScoreModelInputs inputs;
+  inputs.scalar_pool = scalar_pool;
+  inputs.dataset = dataset;
+  inputs.ldp_population = ldp_population;
+  inputs.ldp_mechanism = ldp_mechanism;
+  inputs.ldp_attack = ldp_attack;
+  inputs.ldp_tth = game.tth;
+  inputs.regression = regression;
+  inputs.regression_poison = regression_poison;
+  return inputs;
 }
 
 Status TenantSpec::Validate() const {
   ITRIM_RETURN_NOT_OK(game.Validate());
-  switch (model) {
-    case TenantModelKind::kScalar:
-      if (scalar_pool == nullptr || scalar_pool->empty()) {
-        return Status::InvalidArgument(
-            "scalar tenant needs a non-empty scalar_pool");
-      }
-      break;
-    case TenantModelKind::kDistance:
-      if (dataset == nullptr || dataset->rows.empty()) {
-        return Status::InvalidArgument(
-            "distance tenant needs a non-empty dataset");
-      }
-      break;
-    case TenantModelKind::kLdp:
-      if (ldp_population == nullptr || ldp_population->empty()) {
-        return Status::InvalidArgument(
-            "ldp tenant needs a non-empty ldp_population");
-      }
-      if (ldp_mechanism == nullptr) {
-        return Status::InvalidArgument("ldp tenant needs an ldp_mechanism");
-      }
-      // Groundtruth tenants run with attack_ratio forced to 0 at
-      // materialization, so they never draw a poison report.
-      if (ldp_attack == nullptr && game.attack_ratio > 0.0 &&
-          scheme != SchemeId::kGroundtruth) {
-        return Status::InvalidArgument(
-            "ldp tenant with attack_ratio > 0 needs an ldp_attack");
-      }
-      break;
+  ITRIM_RETURN_NOT_OK(ValidateScoreModelInputs(model, ModelInputs()));
+  // Groundtruth tenants run with attack_ratio forced to 0 at
+  // materialization, so they never draw a poison report; only the tenant
+  // knows that, so the attack requirement stays here rather than in the
+  // factory's per-kind check.
+  if (model == TenantModelKind::kLdp && ldp_attack == nullptr &&
+      game.attack_ratio > 0.0 && scheme != SchemeId::kGroundtruth) {
+    return Status::InvalidArgument(
+        "ldp tenant with attack_ratio > 0 needs an ldp_attack");
+  }
+  if (reference == TenantReferenceKind::kFittedModel) {
+    if (model != TenantModelKind::kResidual) {
+      return Status::InvalidArgument(
+          "fitted-model reference requires the residual model kind");
+    }
+    if (fitted_reference.max_refits < 1) {
+      return Status::InvalidArgument(
+          "fitted-model reference needs max_refits >= 1");
+    }
+    if (!(fitted_reference.tol >= 0.0)) {
+      return Status::InvalidArgument(
+          "fitted-model reference needs tol >= 0");
+    }
   }
   return Status::OK();
 }
@@ -76,29 +74,25 @@ Result<Tenant> MaterializeTenant(const TenantSpec& spec, uint64_t seed) {
       MakeScheme(spec.scheme, tenant.config.tth, spec.scheme_options);
 
   AdversaryStrategy* adversary = tenant.scheme.adversary.get();
-  switch (spec.model) {
-    case TenantModelKind::kScalar:
-      tenant.model = std::make_unique<IdentityScoreModel>(spec.scalar_pool);
-      break;
-    case TenantModelKind::kDistance:
-      tenant.model = std::make_unique<DistanceScoreModel>(spec.dataset);
-      break;
-    case TenantModelKind::kLdp:
-      tenant.model = std::make_unique<LdpReportScoreModel>(
-          spec.ldp_population, spec.ldp_mechanism, spec.ldp_attack,
-          tenant.config.tth);
-      // Poison is materialized by the attack; the session runs without an
-      // AdversaryStrategy, exactly like the LdpCollectionGame path (an
-      // adversary would consume RNG draws the LDP stream never did).
-      adversary = nullptr;
-      // The symmetric band trim is defined against the board reference.
-      tenant.config.round_mass_trimming = false;
-      break;
+  ScoreModelInputs inputs = spec.ModelInputs();
+  inputs.ldp_tth = tenant.config.tth;
+  if (spec.model == TenantModelKind::kLdp) {
+    // Poison is materialized by the attack; the session runs without an
+    // AdversaryStrategy, exactly like the LdpCollectionGame path (an
+    // adversary would consume RNG draws the LDP stream never did).
+    adversary = nullptr;
+    // The symmetric band trim is defined against the board reference.
+    tenant.config.round_mass_trimming = false;
   }
+  ITRIM_ASSIGN_OR_RETURN(tenant.model, MakeScoreModel(spec.model, inputs));
   tenant.model->set_retain_survivors(spec.retain_survivors);
+  if (spec.reference == TenantReferenceKind::kFittedModel) {
+    tenant.reference =
+        std::make_unique<FittedModelReference>(spec.fitted_reference);
+  }
   tenant.session = std::make_unique<TrimmingSession>(
       tenant.config, tenant.model.get(), tenant.scheme.collector.get(),
-      adversary, tenant.scheme.quality.get());
+      adversary, tenant.scheme.quality.get(), tenant.reference.get());
   return tenant;
 }
 
@@ -114,9 +108,11 @@ Status HibernateTenant(Tenant* tenant) {
   parked->checkpoint = tenant->session->Checkpoint();
   parked->termination_round = tenant->scheme.collector->termination_round();
   // Release the live objects only after the checkpoint is safely captured;
-  // the session borrows the model and strategies, so it goes first.
+  // the session borrows the model, reference and strategies, so it goes
+  // first.
   tenant->session.reset();
   tenant->model.reset();
+  tenant->reference.reset();
   tenant->scheme = SchemeInstance{};
   tenant->hibernated = std::move(parked);
   return Status::OK();

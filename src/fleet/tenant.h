@@ -20,6 +20,8 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "exp/schemes.h"
+#include "exp/score_model_factory.h"
+#include "game/reference_policy.h"
 #include "game/score_model.h"
 #include "game/session.h"
 #include "ldp/attacks.h"
@@ -27,15 +29,21 @@
 
 namespace itrim {
 
-/// \brief Data setting a tenant's session runs in.
-enum class TenantModelKind {
-  kScalar = 0,  ///< IdentityScoreModel over a shared value pool
-  kDistance,    ///< DistanceScoreModel over a shared Dataset
-  kLdp,         ///< LdpReportScoreModel over population + mechanism + attack
-};
+/// \brief Data setting a tenant's session runs in — the fleet speaks the
+/// library-wide ModelKind vocabulary (exp/score_model_factory.h).
+using TenantModelKind = ModelKind;
 
-/// \brief Display name of a model kind ("scalar", "distance", "ldp").
+/// \brief Display name of a model kind
+/// ("scalar", "distance", "ldp", "residual").
 std::string TenantModelKindName(TenantModelKind kind);
+
+/// \brief Which trim reference the tenant's session plays against.
+enum class TenantReferenceKind {
+  kPercentile = 0,  ///< board-quantile cutoff (the classical protocol)
+  /// Model-in-the-loop: cutoff from residuals against a model refit on the
+  /// round's survivor candidates (requires TenantModelKind::kResidual).
+  kFittedModel,
+};
 
 /// \brief Declarative description of one fleet tenant.
 ///
@@ -68,8 +76,19 @@ struct TenantSpec {
   const std::vector<double>* ldp_population = nullptr;  ///< kLdp
   const LdpMechanism* ldp_mechanism = nullptr;          ///< kLdp
   LdpAttack* ldp_attack = nullptr;                      ///< kLdp
+  const RegressionData* regression = nullptr;           ///< kResidual
+  PoisonShape regression_poison = PoisonShape::kFlipShift;  ///< kResidual
 
-  /// \brief Checks the game config and the model kind's data sources.
+  /// Trim reference the session plays against; kFittedModel requires the
+  /// kResidual model kind (the only setting exposing observations).
+  TenantReferenceKind reference = TenantReferenceKind::kPercentile;
+  FittedModelReference::Options fitted_reference;  ///< kFittedModel only
+
+  /// \brief Assembles the factory inputs this spec describes.
+  ScoreModelInputs ModelInputs() const;
+
+  /// \brief Checks the game config, the model kind's data sources and the
+  /// reference policy options.
   Status Validate() const;
 };
 
@@ -96,6 +115,9 @@ struct Tenant {
   GameConfig config;           ///< effective config (derived seed applied)
   SchemeInstance scheme;       ///< owned collector/adversary/quality
   std::unique_ptr<ScoreModel> model;
+  /// Owned trim reference; null for kPercentile tenants (the session falls
+  /// back to the shared stateless default).
+  std::unique_ptr<ReferencePolicy> reference;
   std::unique_ptr<TrimmingSession> session;
   std::unique_ptr<TenantHibernation> hibernated;
 

@@ -22,6 +22,9 @@ namespace itrim::kernels {
   size_t CountGreater(const double* values, size_t n, double cutoff);        \
   size_t CountAtLeast(const double* values, size_t n, double cutoff);        \
   double SquaredDistance(const double* a, const double* b, size_t n);        \
+  double LaneDot(const double* a, const double* b, size_t n);                \
+  void AbsResidualsToModel(const double* rows, size_t n_rows, size_t width,  \
+                           const double* weights, double bias, double* out); \
   void DistancesToCenter(const double* rows, size_t n_rows, size_t dims,     \
                          const double* center, double* out);                 \
   }
@@ -96,6 +99,20 @@ double SquaredDistance(const double* a, const double* b, size_t n) {
   return ActiveVariant() == Variant::kVector
              ? vectorized::SquaredDistance(a, b, n)
              : generic::SquaredDistance(a, b, n);
+}
+
+double LaneDot(const double* a, const double* b, size_t n) {
+  return ActiveVariant() == Variant::kVector ? vectorized::LaneDot(a, b, n)
+                                             : generic::LaneDot(a, b, n);
+}
+
+void AbsResidualsToModel(const double* rows, size_t n_rows, size_t width,
+                         const double* weights, double bias, double* out) {
+  if (ActiveVariant() == Variant::kVector) {
+    vectorized::AbsResidualsToModel(rows, n_rows, width, weights, bias, out);
+  } else {
+    generic::AbsResidualsToModel(rows, n_rows, width, weights, bias, out);
+  }
 }
 
 void DistancesToCenter(const double* rows, size_t n_rows, size_t dims,

@@ -55,6 +55,19 @@ size_t CountAtLeast(const double* values, size_t n, double cutoff);
 /// kernels agree bit for bit.
 double SquaredDistance(const double* a, const double* b, size_t n);
 
+/// \brief Inner product in the canonical 4-lane association (the dot-product
+/// sibling of SquaredDistance). Model predictions — the linear-regression
+/// fitter, the residual score model's scalar path and the batched residual
+/// kernel — all evaluate w . x through this, so they agree bit for bit.
+double LaneDot(const double* a, const double* b, size_t n);
+
+/// \brief out[r] = |y_r - (w . x_r + bias)| for `n_rows` contiguous flat
+/// regression observations [x_0..x_{d-1}, y] of `width` = d + 1 doubles
+/// (row-major). The dot product runs in the canonical 4-lane association,
+/// so the batch is bitwise-identical to per-row LaneDot evaluation.
+void AbsResidualsToModel(const double* rows, size_t n_rows, size_t width,
+                         const double* weights, double bias, double* out);
+
 /// \brief out[r] = Euclidean distance of row r to `center` for `n_rows`
 /// contiguous rows of width `dims` (row-major). sqrt is correctly rounded,
 /// so the batch is bitwise-identical to per-row scalar evaluation.

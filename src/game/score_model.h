@@ -22,10 +22,20 @@
 // observation. Payloads live in flat structure-of-arrays storage (a round
 // is `n * ObsWidth()` contiguous doubles), accessors hand out spans over
 // that storage, and scoring is a batched `ScoreInto` backed by the
-// dispatched kernels (game/kernels.h). The scalar path is retained as
-// `ScoreObservation` / `ScoreIntoScalar` — both the definitional reference
-// the differential bit-identity tests pit the batch against and the
-// fallback for models without a batch kernel.
+// dispatched kernels (game/kernels.h).
+//
+// Batch-vs-scalar bitwise contract: `ScoreIntoScalar` is the one public
+// scalar reference path — it always loops the model's per-observation
+// scoring definition (the protected `ScoreObservation` hook), never
+// kernels — and `ScoreInto` must produce bit-identical doubles to it for
+// every observation block. Models earn that equality the same way the
+// kernels do (game/kernels.h): shared canonical FP association between the
+// scalar definition and the batch sweep, no contraction, exact operations
+// elsewhere. Differential tests pit the two paths against each other
+// across sizes and kernel variants; benches use the scalar path as the
+// pre-batching baseline. There is deliberately no second public scalar
+// entry point: callers who want one score call ScoreIntoScalar on a
+// one-observation span.
 #ifndef ITRIM_GAME_SCORE_MODEL_H_
 #define ITRIM_GAME_SCORE_MODEL_H_
 
@@ -138,22 +148,31 @@ class ScoreModel {
   /// the row width for the distance setting).
   virtual size_t ObsWidth() const { return 1; }
 
-  /// \brief Scores one flat observation payload of ObsWidth() doubles.
-  /// This is the model's scoring *definition*; ScoreInto must match it bit
-  /// for bit.
-  virtual double ScoreObservation(std::span<const double> obs) const = 0;
+  /// \brief True when observations() exposes the current round's flat
+  /// payloads. Model-in-the-loop reference policies
+  /// (game/reference_policy.h) require it; models whose payloads are
+  /// consumed on arrival keep the default.
+  virtual bool ProvidesObservations() const { return false; }
+
+  /// \brief The current round's flat observation block (`scores().size() *
+  /// ObsWidth()` doubles, arrival order) for models with
+  /// ProvidesObservations() == true; empty otherwise. Same view lifetime
+  /// as scores().
+  virtual std::span<const double> observations() const { return {}; }
 
   /// \brief Batched scoring: `obs` holds `out.size()` flat observations of
   /// ObsWidth() doubles each; writes one score per observation. The
   /// default loops ScoreObservation; models with a vectorizable transform
   /// override with a kernel sweep (bit-identical by the kernels.h
-  /// contract).
+  /// contract — see the header block above).
   virtual Status ScoreInto(std::span<const double> obs,
                            std::span<double> out) const;
 
-  /// \brief The retained scalar reference path: always loops
-  /// ScoreObservation, never kernels. Differential tests pit ScoreInto
-  /// against this; benches use it as the pre-batching baseline.
+  /// \brief The one public scalar reference path: always loops the
+  /// per-observation scoring definition, never kernels. ScoreInto must
+  /// match it bit for bit (header block above); differential tests pit the
+  /// two against each other and benches use this as the pre-batching
+  /// baseline.
   Status ScoreIntoScalar(std::span<const double> obs,
                          std::span<double> out) const;
 
@@ -189,6 +208,12 @@ class ScoreModel {
   bool retain_survivors() const { return retain_survivors_; }
 
  protected:
+  /// \brief Scores one flat observation payload of ObsWidth() doubles —
+  /// the model's scoring *definition*, which both public paths must match
+  /// bit for bit. Protected: external callers go through ScoreIntoScalar
+  /// (the documented scalar entry point); implementations override this.
+  virtual double ScoreObservation(std::span<const double> obs) const = 0;
+
   /// \brief Shared argument check for ScoreInto/ScoreIntoScalar.
   Status CheckScoreSpans(std::span<const double> obs,
                          std::span<double> out) const;
@@ -214,7 +239,6 @@ class IdentityScoreModel : public ScoreModel {
                       const PublicBoard& board) override;
   std::span<const double> scores() const override { return values_; }
   std::span<const char> is_poison() const override { return is_poison_; }
-  double ScoreObservation(std::span<const double> obs) const override;
   Status ScoreInto(std::span<const double> obs,
                    std::span<double> out) const override;
   Status TrimAtReference(double percentile, const PublicBoard& board,
@@ -227,6 +251,9 @@ class IdentityScoreModel : public ScoreModel {
   const std::vector<char>& retained_is_poison() const {
     return retained_is_poison_;
   }
+
+ protected:
+  double ScoreObservation(std::span<const double> obs) const override;
 
  private:
   const std::vector<double>* benign_pool_;
@@ -266,7 +293,6 @@ class DistanceScoreModel : public ScoreModel {
   std::span<const double> scores() const override { return scores_; }
   std::span<const char> is_poison() const override { return is_poison_; }
   size_t ObsWidth() const override;
-  double ScoreObservation(std::span<const double> obs) const override;
   Status ScoreInto(std::span<const double> obs,
                    std::span<double> out) const override;
   Status TrimAtReference(double percentile, const PublicBoard& board,
@@ -285,6 +311,9 @@ class DistanceScoreModel : public ScoreModel {
   /// \brief The percentile geometry built from the bootstrap (valid after
   /// Bootstrap()).
   const PositionMap& position_map() const { return position_map_; }
+
+ protected:
+  double ScoreObservation(std::span<const double> obs) const override;
 
  private:
   /// Next reusable round-row slot in the flat pool: row_data_ only grows,

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/math_util.h"
+#include "game/reference_policy.h"
 #include "game/score_model.h"
 #include "game/trimmer.h"
 
@@ -190,9 +191,11 @@ uint64_t BoardSeedFor(const GameConfig& config, ScoreModel* model) {
 TrimmingSession::TrimmingSession(GameConfig config, ScoreModel* model,
                                  CollectorStrategy* collector,
                                  AdversaryStrategy* adversary,
-                                 QualityEvaluation* quality)
+                                 QualityEvaluation* quality,
+                                 ReferencePolicy* reference)
     : config_(config), config_status_(config.Validate()), model_(model),
       collector_(collector), adversary_(adversary), quality_(quality),
+      reference_(reference != nullptr ? reference : DefaultReferencePolicy()),
       board_(config.board_capacity, BoardSeedFor(config, model),
              config.board_backend),
       rng_(config.seed) {
@@ -210,6 +213,7 @@ Status TrimmingSession::Bootstrap() {
         "score model needs an AdversaryStrategy to position its poison; "
         "pass one or set attack_ratio = 0");
   }
+  ITRIM_RETURN_NOT_OK(reference_->Validate(*model_));
   ITRIM_RETURN_NOT_OK(model_->BeginRun());
   rng_ = Rng(config_.seed);
   collector_->Reset();
@@ -297,7 +301,7 @@ Result<RoundRecord> TrimmingSession::Step() {
                         &outcome);
   } else {
     ITRIM_RETURN_NOT_OK(
-        model_->TrimAtReference(trim_percentile, board_, &outcome));
+        reference_->TrimRound(trim_percentile, model_, board_, &outcome));
   }
 
   RoundRecord record;

@@ -47,6 +47,7 @@
 namespace itrim {
 
 class ScoreModel;
+class ReferencePolicy;
 
 /// \brief Configuration shared by all collection-game variants.
 struct GameConfig {
@@ -167,14 +168,20 @@ struct SessionCheckpoint {
 ///
 /// All pointers are borrowed and must outlive the session. `adversary` may
 /// be null (the model then materializes poison without percentile guidance,
-/// e.g. the LDP report attack); `quality` may be null (rounds score 1.0).
-/// The configuration is validated at construction; Bootstrap() surfaces the
-/// validation Status instead of silently running on a bad config.
+/// e.g. the LDP report attack); `quality` may be null (rounds score 1.0);
+/// `reference` may be null (the shared percentile reference — the paper's
+/// board-quantile trim, bit-identical to the pre-policy engine). A
+/// reference policy with internal scratch (FittedModelReference) must be
+/// owned per session, like strategies are. The configuration is validated
+/// at construction; Bootstrap() surfaces the validation Status (and the
+/// policy's model-compatibility check) instead of silently running on a
+/// bad config.
 class TrimmingSession {
  public:
   TrimmingSession(GameConfig config, ScoreModel* model,
                   CollectorStrategy* collector, AdversaryStrategy* adversary,
-                  QualityEvaluation* quality);
+                  QualityEvaluation* quality,
+                  ReferencePolicy* reference = nullptr);
 
   /// \brief Resets strategies/model and seeds the board with the clean
   /// round-0 calibration sample that fixes the percentile reference.
@@ -218,6 +225,7 @@ class TrimmingSession {
   CollectorStrategy* collector_;
   AdversaryStrategy* adversary_;
   QualityEvaluation* quality_;
+  ReferencePolicy* reference_;
   PublicBoard board_;
   Rng rng_;
   RoundObservation prev_;

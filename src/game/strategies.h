@@ -21,6 +21,7 @@
 #ifndef ITRIM_GAME_STRATEGIES_H_
 #define ITRIM_GAME_STRATEGIES_H_
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -269,6 +270,58 @@ class ElasticAdversary : public AdversaryStrategy {
   double initial_offset_;
   double base_offset_;
   double last_threshold_ = std::nan("");
+};
+
+/// \brief The blatant regression-poisoning play (the flip-and-shift attack
+/// shape): every poison value sits far beyond the clean residual range —
+/// positions around `base` > 1 extrapolate past the board's largest clean
+/// residual, jittered per value so rounds do not stack on one magnitude.
+/// Maximally damaging per point and maximally visible: the residual trim
+/// removes it wholesale, which is exactly the bench's blatant baseline.
+class FlipShiftAdversary : public AdversaryStrategy {
+ public:
+  explicit FlipShiftAdversary(double base = 1.25, double jitter = 0.1)
+      : base_(base), jitter_(jitter) {}
+  std::string name() const override { return "flip_shift"; }
+  double InjectionPercentile(const RoundContext&, Rng* rng) override {
+    return rng->Uniform(base_ - jitter_, base_ + jitter_);
+  }
+
+ private:
+  double base_;
+  double jitter_;
+};
+
+/// \brief The evasive regression-poisoning play: searches for the survival
+/// boundary from adversary-side feedback. Starts at `start`; after a round
+/// where every poison value survived it climbs by `step` (more damage per
+/// point), and any trimmed poison drops it back two steps. State is a pure
+/// function of the observation history, so checkpoint replay reconstructs
+/// it exactly.
+class OptimalRegressionAdversary : public AdversaryStrategy {
+ public:
+  explicit OptimalRegressionAdversary(double start = 0.85,
+                                      double step = 0.01, double cap = 1.45)
+      : start_(start), step_(step), cap_(cap), position_(start) {}
+  std::string name() const override { return "optimal_regression"; }
+  double InjectionPercentile(const RoundContext&, Rng*) override {
+    return position_;
+  }
+  void Observe(const RoundObservation& obs) override {
+    if (obs.poison_received == 0) return;
+    if (obs.poison_kept == obs.poison_received) {
+      position_ = std::min(cap_, position_ + step_);
+    } else {
+      position_ = std::max(0.0, position_ - 2.0 * step_);
+    }
+  }
+  void Reset() override { position_ = start_; }
+
+ private:
+  double start_;
+  double step_;
+  double cap_;
+  double position_;
 };
 
 /// \brief Mixed strategy of the Table-III study: position hi w.p. p,

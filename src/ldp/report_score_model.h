@@ -62,7 +62,6 @@ class LdpReportScoreModel : public ScoreModel {
                            const PublicBoard& board) override;
   std::span<const double> scores() const override { return reports_; }
   std::span<const char> is_poison() const override { return is_poison_; }
-  double ScoreObservation(std::span<const double> obs) const override;
   Status ScoreInto(std::span<const double> obs,
                    std::span<double> out) const override;
   double InjectionSignal(const PublicBoard& board,
@@ -73,6 +72,9 @@ class LdpReportScoreModel : public ScoreModel {
 
   /// \brief Surviving reports accumulated since BeginRun().
   const std::vector<double>& retained() const { return retained_; }
+
+ protected:
+  double ScoreObservation(std::span<const double> obs) const override;
 
  private:
   const std::vector<double>* population_;

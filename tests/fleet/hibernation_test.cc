@@ -1,6 +1,6 @@
 // Tenant hibernation/rehydration bit-identity: evicting a session to its
 // compact checkpoint and rebuilding it later must not perturb the stream.
-// Covered per model kind (scalar / distance / LDP), per board backend
+// Covered per model kind (scalar / distance / LDP / residual), per board backend
 // (flat / treap), mid-stream at every round boundary, and across repeated
 // hibernate-rehydrate cycles.
 #include <gtest/gtest.h>
@@ -16,6 +16,7 @@
 #include "game/public_board.h"
 #include "ldp/attacks.h"
 #include "ldp/mechanism.h"
+#include "ml/linreg.h"
 
 #include "game/summary_test_util.h"
 
@@ -35,7 +36,8 @@ class HibernationTest : public ::testing::Test {
  protected:
   HibernationTest()
       : pool_(UniformPool(4000, 11)), data_(MakeControl(21, 80)),
-        population_(UniformPool(3000, 31)), mechanism_(2.0) {}
+        population_(UniformPool(3000, 31)), mechanism_(2.0),
+        regression_(MakeSyntheticRegression(600, 3, 0.05, 47)) {}
 
   TenantSpec SpecFor(TenantModelKind model, BoardBackend backend) {
     TenantSpec spec;
@@ -61,6 +63,12 @@ class HibernationTest : public ::testing::Test {
         attacks_.push_back(std::make_unique<InputManipulationAttack>(1.0));
         spec.ldp_attack = attacks_.back().get();
         break;
+      case TenantModelKind::kResidual:
+        // The fitted-model reference is the interesting hibernation case:
+        // its scratch must be rebuilt from the checkpoint alone.
+        spec.regression = &regression_;
+        spec.reference = TenantReferenceKind::kFittedModel;
+        break;
     }
     return spec;
   }
@@ -81,6 +89,7 @@ class HibernationTest : public ::testing::Test {
   std::vector<double> population_;
   PiecewiseMechanism mechanism_;
   std::vector<std::unique_ptr<LdpAttack>> attacks_;
+  RegressionData regression_;
 };
 
 // The core contract, swept over every (model kind, board backend) cell:
@@ -91,7 +100,8 @@ TEST_F(HibernationTest, MidStreamHibernationIsBitIdenticalEverywhere) {
   const int kRounds = 8;
   const TenantModelKind kinds[] = {TenantModelKind::kScalar,
                                    TenantModelKind::kDistance,
-                                   TenantModelKind::kLdp};
+                                   TenantModelKind::kLdp,
+                                   TenantModelKind::kResidual};
   const BoardBackend backends[] = {BoardBackend::kFlat, BoardBackend::kTreap};
   for (TenantModelKind model : kinds) {
     for (BoardBackend backend : backends) {

@@ -44,6 +44,33 @@ double OracleSquaredDistance(const double* a, const double* b, size_t n) {
   return (l[0] + l[1]) + (l[2] + l[3]);
 }
 
+// Same reduction shape for the dot product (the library-wide prediction
+// definition behind LaneDot / AbsResidualsToModel).
+double OracleLaneDot(const double* a, const double* b, size_t n) {
+  double l[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t k = 0; k < 4; ++k) {
+      l[k] += a[i + k] * b[i + k];
+    }
+  }
+  for (size_t k = 0; i < n; ++i, ++k) {
+    l[k] += a[i] * b[i];
+  }
+  return (l[0] + l[1]) + (l[2] + l[3]);
+}
+
+// NaN-tolerant bit equality for the specials sweep: when +inf and -inf
+// products land in lanes that cancel, the combine yields a NaN whose sign
+// and payload depend on FP-add operand order — which IEEE 754 leaves to
+// the implementation, so the two kernel TUs may legitimately disagree on
+// those bits. Finite inputs (the only ones LaneDot ever sees in the
+// library: model weights and feature rows) keep the strict SameBits
+// contract via the dedicated tests below.
+bool SameBitsOrBothNan(double a, double b) {
+  return SameBits(a, b) || (std::isnan(a) && std::isnan(b));
+}
+
 struct VariantGuard {
   ~VariantGuard() { kernels::ResetVariant(); }
 };
@@ -173,6 +200,41 @@ TEST(KernelsTest, SmallSizesDegenerateToSequentialSum) {
   }
 }
 
+TEST(KernelsTest, LaneDotMatchesDocumentedAssociation) {
+  Rng rng(0x1A7D07ULL);
+  for (size_t n : kSizes) {
+    std::vector<double> a = RandomValues(n, &rng, /*with_specials=*/false);
+    std::vector<double> b = RandomValues(n, &rng, /*with_specials=*/false);
+    const double got = kernels::LaneDot(a.data(), b.data(), n);
+    EXPECT_TRUE(SameBits(got, OracleLaneDot(a.data(), b.data(), n)))
+        << "n=" << n;
+    double naive = 0.0;
+    for (size_t i = 0; i < n; ++i) naive += a[i] * b[i];
+    EXPECT_NEAR(got, naive, 1e-9 * (1.0 + std::fabs(naive))) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, AbsResidualsToModelMatchesPerRowScalar) {
+  Rng rng(0xAB5ULL);
+  for (size_t dims : {1u, 2u, 3u, 4u, 5u, 8u, 17u}) {
+    const size_t width = dims + 1;
+    const size_t n_rows = 41;
+    std::vector<double> rows = RandomValues(n_rows * width, &rng, false);
+    std::vector<double> weights = RandomValues(dims, &rng, false);
+    const double bias = rng.Uniform(-1.0, 1.0);
+    std::vector<double> out(n_rows, -1.0);
+    kernels::AbsResidualsToModel(rows.data(), n_rows, width, weights.data(),
+                                 bias, out.data());
+    for (size_t r = 0; r < n_rows; ++r) {
+      const double* row = rows.data() + r * width;
+      const double expect =
+          std::fabs(row[dims] - (OracleLaneDot(weights.data(), row, dims) +
+                                 bias));
+      EXPECT_TRUE(SameBits(out[r], expect)) << "dims=" << dims << " r=" << r;
+    }
+  }
+}
+
 TEST(KernelsTest, DistancesToCenterMatchesPerRowScalar) {
   Rng rng(0xD15CULL);
   for (size_t dims : {1u, 2u, 3u, 4u, 5u, 8u, 17u}) {
@@ -212,6 +274,7 @@ TEST(KernelsVariantEquivalenceTest, AllKernelsBitIdenticalAcrossVariants) {
     const size_t greater_g = kernels::CountGreater(v.data(), n, cutoff);
     const size_t at_least_g = kernels::CountAtLeast(v.data(), n, cutoff);
     const double dist_g = kernels::SquaredDistance(v.data(), w.data(), n);
+    const double dot_g = kernels::LaneDot(v.data(), w.data(), n);
 
     kernels::ForceVariant(Variant::kVector);
     std::vector<char> keep_v(n, 0), band_v(n, 0);
@@ -222,6 +285,7 @@ TEST(KernelsVariantEquivalenceTest, AllKernelsBitIdenticalAcrossVariants) {
     const size_t greater_v = kernels::CountGreater(v.data(), n, cutoff);
     const size_t at_least_v = kernels::CountAtLeast(v.data(), n, cutoff);
     const double dist_v = kernels::SquaredDistance(v.data(), w.data(), n);
+    const double dot_v = kernels::LaneDot(v.data(), w.data(), n);
 
     EXPECT_EQ(mask_g, mask_v) << n;
     EXPECT_EQ(keep_g, keep_v) << n;
@@ -230,6 +294,33 @@ TEST(KernelsVariantEquivalenceTest, AllKernelsBitIdenticalAcrossVariants) {
     EXPECT_EQ(greater_g, greater_v) << n;
     EXPECT_EQ(at_least_g, at_least_v) << n;
     EXPECT_TRUE(SameBits(dist_g, dist_v)) << n;
+    EXPECT_TRUE(SameBitsOrBothNan(dot_g, dot_v)) << n;
+  }
+}
+
+TEST(KernelsVariantEquivalenceTest, AbsResidualsToModelBitIdentical) {
+  if (!kernels::VectorAvailable()) {
+    GTEST_SKIP() << "no AVX2: single-variant machine";
+  }
+  VariantGuard guard;
+  Rng rng(0xB17AB5ULL);
+  for (size_t dims : {1u, 2u, 4u, 7u, 16u, 33u}) {
+    const size_t width = dims + 1;
+    const size_t n_rows = 53;
+    std::vector<double> rows = RandomValues(n_rows * width, &rng, false);
+    std::vector<double> weights = RandomValues(dims, &rng, false);
+    const double bias = rng.Uniform(-1.0, 1.0);
+    std::vector<double> out_g(n_rows), out_v(n_rows);
+    kernels::ForceVariant(Variant::kGeneric);
+    kernels::AbsResidualsToModel(rows.data(), n_rows, width, weights.data(),
+                                 bias, out_g.data());
+    kernels::ForceVariant(Variant::kVector);
+    kernels::AbsResidualsToModel(rows.data(), n_rows, width, weights.data(),
+                                 bias, out_v.data());
+    for (size_t r = 0; r < n_rows; ++r) {
+      EXPECT_TRUE(SameBits(out_g[r], out_v[r]))
+          << "dims=" << dims << " r=" << r;
+    }
   }
 }
 

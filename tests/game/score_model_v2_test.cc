@@ -186,8 +186,12 @@ TEST(ExternalIngestTest, DistanceIngestScoresLikeScalarPath) {
   ASSERT_EQ(scores.size(), n);
   const size_t dims = fx.data_.dims();
   for (size_t i = 0; i < n; ++i) {
-    const double expect = fx.model_.ScoreObservation(
-        std::span<const double>(obs).subspan(i * dims, dims));
+    double expect = 0.0;
+    ASSERT_TRUE(fx.model_
+                    .ScoreIntoScalar(
+                        std::span<const double>(obs).subspan(i * dims, dims),
+                        std::span<double>(&expect, 1))
+                    .ok());
     EXPECT_TRUE(BitEqual(scores[i], expect)) << "i=" << i;
   }
 }

@@ -25,9 +25,12 @@
 #include "game/score_model.h"
 #include "game/strategies.h"
 #include "gtest/gtest.h"
+#include "game/reference_policy.h"
 #include "ldp/attacks.h"
 #include "ldp/mechanism.h"
 #include "ldp/report_score_model.h"
+#include "ml/linreg.h"
+#include "ml/residual_score_model.h"
 
 namespace itrim {
 namespace {
@@ -117,6 +120,29 @@ TEST(ZeroAllocTest, LdpSessionSteadyStateStepIsAllocationFree) {
   EXPECT_EQ(AllocationsOver(&session, kMeasuredRounds), 0u);
 }
 
+// The residual workload's hot path — batched kernel scoring plus a full
+// refit-and-reselect inside FittedModelReference::TrimRound every round —
+// must also settle to zero: the regressor's normal-equation scratch, the
+// policy's residual/order/gather buffers and the model's row store are all
+// reused once warm.
+TEST(ZeroAllocTest, ResidualSessionSteadyStateStepIsAllocationFree) {
+  RegressionData source = MakeSyntheticRegression(800, 3, 0.05, 59);
+  for (bool fitted : {false, true}) {
+    SCOPED_TRACE(fitted ? "fitted_model" : "percentile");
+    ResidualScoreModel model(&source);
+    model.set_retain_survivors(false);
+    ElasticCollector collector(0.5);
+    ElasticAdversary adversary(0.5);
+    FittedModelReference reference;
+    TrimmingSession session(StreamingConfig(false), &model, &collector,
+                            &adversary, nullptr,
+                            fitted ? &reference : nullptr);
+    ASSERT_TRUE(session.Bootstrap().ok());
+    AllocationsOver(&session, kWarmupRounds);
+    EXPECT_EQ(AllocationsOver(&session, kMeasuredRounds), 0u);
+  }
+}
+
 // The retaining mode is *expected* to allocate (that is what an append-only
 // survivor store does); this guards the test methodology against a silent
 // counting-allocator regression that would make every measurement zero.
@@ -145,6 +171,7 @@ TEST(ZeroAllocTest, SerialFleetSteadyStateStepRoundIsAllocationFree) {
   for (int i = 0; i < 1500; ++i) population.push_back(rng.Uniform(-1.0, 1.0));
   Dataset data = MakeControl(7, 60);
   PiecewiseMechanism mechanism(2.0);
+  RegressionData regression = MakeSyntheticRegression(800, 2, 0.05, 67);
   std::vector<std::unique_ptr<LdpAttack>> attacks;
 
   const std::vector<SchemeId> schemes = AllSchemes();
@@ -152,7 +179,7 @@ TEST(ZeroAllocTest, SerialFleetSteadyStateStepRoundIsAllocationFree) {
   const size_t tenants = 12;
   for (size_t i = 0; i < tenants; ++i) {
     TenantSpec spec;
-    spec.model = static_cast<TenantModelKind>(i % 3);
+    spec.model = static_cast<TenantModelKind>(i % 4);
     spec.scheme = schemes[i % schemes.size()];
     spec.game = StreamingConfig((i % 2) == 0);
     ASSERT_FALSE(spec.retain_survivors);  // the fleet default is streaming
@@ -168,6 +195,12 @@ TEST(ZeroAllocTest, SerialFleetSteadyStateStepRoundIsAllocationFree) {
         spec.ldp_mechanism = &mechanism;
         attacks.push_back(std::make_unique<InputManipulationAttack>(1.0));
         spec.ldp_attack = attacks.back().get();
+        break;
+      case TenantModelKind::kResidual:
+        spec.regression = &regression;
+        // Alternate the two reference policies across residual tenants.
+        spec.reference = (i % 8) < 4 ? TenantReferenceKind::kFittedModel
+                                     : TenantReferenceKind::kPercentile;
         break;
     }
     specs.push_back(spec);

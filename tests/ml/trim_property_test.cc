@@ -1,0 +1,156 @@
+// Randomized properties of the Trim / iTrim defenses:
+//  * eps_hat = 0 is a pure no-op (every row kept, no refit loop, model
+//    bitwise equal to the plain closed-form fit);
+//  * iTrim concludes eps_hat = 0 on clean data;
+//  * iTrim recovers a planted contamination level to within one grid step
+//    across the {0.04 .. 0.20} sweep;
+//  * the iterative defense never keeps more poison than one-shot Trim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/linreg.h"
+
+namespace itrim {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// A poisoned task: clean synthetic data plus flip-and-shift rows at `eps`,
+// poisoned against the clean closed-form fit. Poison rows are the tail
+// (index >= clean count).
+struct PoisonedTask {
+  RegressionData data;
+  size_t clean = 0;
+  size_t poison = 0;
+};
+
+PoisonedTask MakePoisonedTask(size_t n, size_t dims, double noise, double eps,
+                              double shift, uint64_t seed) {
+  PoisonedTask task;
+  task.data = MakeSyntheticRegression(n, dims, noise, seed);
+  task.clean = task.data.size();
+  LinearRegressor regressor;
+  LinearModel reference;
+  Status fit = regressor.FitClosedForm(task.data.xs, task.data.ys, dims,
+                                       &reference);
+  EXPECT_TRUE(fit.ok()) << fit.ToString();
+  Rng rng(seed ^ 0xABCDEFULL);
+  task.poison = FlipShiftPoison(&task.data, reference, eps, shift, &rng);
+  return task;
+}
+
+size_t PoisonKept(const TrimResult& trim, size_t clean) {
+  size_t kept = 0;
+  for (size_t idx : trim.kept) {
+    if (idx >= clean) ++kept;
+  }
+  return kept;
+}
+
+TEST(TrimPropertyTest, EpsZeroIsAPureNoOp) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    PoisonedTask task =
+        MakePoisonedTask(160, 2, /*noise=*/0.05, /*eps=*/0.1,
+                         /*shift=*/4.0, seed);
+    TrimOptions options;
+    options.eps_hat = 0.0;
+    Rng rng(seed * 31);
+    auto result = TrimDefense(task.data, options, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const TrimResult& trim = result.ValueOrDie();
+
+    // Every row survives, in order; the refit loop never ran.
+    ASSERT_EQ(trim.kept.size(), task.data.size()) << "seed=" << seed;
+    for (size_t i = 0; i < trim.kept.size(); ++i) {
+      EXPECT_EQ(trim.kept[i], i) << "seed=" << seed;
+    }
+    EXPECT_EQ(trim.iterations, 0) << "seed=" << seed;
+    EXPECT_TRUE(SameBits(trim.kept_mse, trim.full_mse)) << "seed=" << seed;
+
+    // The model is the plain closed-form fit over all rows, bit for bit:
+    // the degenerate "subset" is all indices in ascending order, so the
+    // normal-equation accumulation visits the same rows in the same order.
+    LinearRegressor regressor;
+    LinearModel direct;
+    ASSERT_TRUE(regressor
+                    .FitClosedForm(task.data.xs, task.data.ys,
+                                   task.data.dims, &direct)
+                    .ok());
+    ASSERT_EQ(trim.model.weights.size(), direct.weights.size());
+    for (size_t j = 0; j < direct.weights.size(); ++j) {
+      EXPECT_TRUE(SameBits(trim.model.weights[j], direct.weights[j]))
+          << "seed=" << seed << " j=" << j;
+    }
+    EXPECT_TRUE(SameBits(trim.model.bias, direct.bias)) << "seed=" << seed;
+  }
+}
+
+TEST(TrimPropertyTest, ITrimEstimatesZeroOnCleanData) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RegressionData data =
+        MakeSyntheticRegression(400, 3, /*noise=*/0.1, seed * 7);
+    ITrimOptions options;
+    Rng rng(seed);
+    auto result = ITrimDefense(data, options, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.ValueOrDie().eps_hat, 0.0) << "seed=" << seed;
+  }
+}
+
+TEST(TrimPropertyTest, ITrimRecoversPlantedContaminationWithinOneStep) {
+  const double kStep = 0.02;
+  for (double eps : {0.04, 0.08, 0.12, 0.16, 0.20}) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      PoisonedTask task =
+          MakePoisonedTask(500, 3, /*noise=*/0.05, eps, /*shift=*/6.0,
+                           seed * 97 + static_cast<uint64_t>(eps * 1000));
+      ITrimOptions options;
+      Rng rng(seed * 13);
+      auto result = ITrimDefense(task.data, options, &rng);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const ITrimResult& itrim = result.ValueOrDie();
+      EXPECT_NEAR(itrim.eps_hat, eps, kStep + 1e-9)
+          << "eps=" << eps << " seed=" << seed;
+      ASSERT_EQ(itrim.grid.size(), itrim.kept_mse.size());
+      ASSERT_EQ(itrim.grid.size(), 13u);  // {0, 0.02, ..., 0.24}
+    }
+  }
+}
+
+TEST(TrimPropertyTest, IterativeTrimKeepsNoMorePoisonThanOneShot) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const double eps = 0.12;
+    PoisonedTask task =
+        MakePoisonedTask(400, 2, /*noise=*/0.05, eps, /*shift=*/6.0,
+                         seed * 1009);
+    TrimOptions one_shot;
+    one_shot.eps_hat = eps;
+    one_shot.max_iters = 1;
+    TrimOptions iterative = one_shot;
+    iterative.max_iters = 20;
+
+    // Same seed => same initial random subset: the iterative run continues
+    // exactly where the one-shot run stopped.
+    Rng rng_one(seed), rng_iter(seed);
+    auto one = TrimDefense(task.data, one_shot, &rng_one);
+    auto iter = TrimDefense(task.data, iterative, &rng_iter);
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    ASSERT_TRUE(iter.ok()) << iter.status().ToString();
+
+    const size_t poison_one = PoisonKept(one.ValueOrDie(), task.clean);
+    const size_t poison_iter = PoisonKept(iter.ValueOrDie(), task.clean);
+    EXPECT_LE(poison_iter, poison_one) << "seed=" << seed;
+    // With the keep budget sized to the clean count and a large shift, the
+    // converged defense must exclude essentially all poison.
+    EXPECT_LE(poison_iter, task.poison / 10) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace itrim
