@@ -169,6 +169,28 @@ std::string BenchReporter::ToJson() const {
       }
       out += "}";
     }
+    if (!c.histograms.empty()) {
+      out += ",\n      \"histograms\": {\n";
+      bool first = true;
+      for (const auto& [key, h] : c.histograms) {
+        if (!first) out += ",\n";
+        first = false;
+        out += "        \"" + JsonEscape(key) + "\": {\"bounds\": [";
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+          if (b > 0) out += ", ";
+          out += JsonNumber(h.bounds[b]);
+        }
+        out += "], \"counts\": [";
+        for (size_t b = 0; b < h.counts.size(); ++b) {
+          if (b > 0) out += ", ";
+          out += JsonNumber(static_cast<double>(h.counts[b]));
+        }
+        out += "], \"sum\": " + JsonNumber(h.sum) +
+               ", \"count\": " + JsonNumber(static_cast<double>(h.count)) +
+               "}";
+      }
+      out += "\n      }";
+    }
     out += "\n    }";
     if (i + 1 < cases_.size()) out += ",";
     out += "\n";

@@ -27,7 +27,11 @@
 //         "wall_ms": x,
 //         "ns_per_op": x, "ops_per_sec": x,   // derived from ops/wall
 //         "allocations": N, "allocs_per_op": x,  // heap traffic (timed)
-//         "counters": { "<k>": x, ... }   // bench-specific extras
+//         "counters": { "<k>": x, ... },  // bench-specific extras
+//         "histograms": {                  // optional distributions
+//           "<k>": { "bounds": [...], "counts": [...],  // len(bounds)+1
+//                    "sum": x, "count": N }
+//         }
 //       }
 //     ]
 //   }
@@ -50,6 +54,17 @@
 
 namespace itrim::bench {
 
+/// \brief One histogram attached to a case: ascending bucket upper bounds
+/// plus an implicit overflow bucket, so `counts` has `bounds.size() + 1`
+/// entries and `count == sum(counts)`. tools/bench_gate.py validates these
+/// invariants on every report it gates.
+struct BenchHistogram {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  uint64_t count = 0;
+};
+
 /// \brief One reported case; fields are set through the fluent setters so
 /// call sites read as a schema.
 struct BenchCase {
@@ -60,6 +75,7 @@ struct BenchCase {
   uint64_t allocations = 0;
   bool has_allocations = false;
   std::map<std::string, double> counters;
+  std::map<std::string, BenchHistogram> histograms;
 
   BenchCase& Iterations(uint64_t n) { iterations = n; return *this; }
   /// Total work items the timed region processed (throughput denominator).
@@ -72,6 +88,11 @@ struct BenchCase {
   }
   BenchCase& Counter(const std::string& key, double value) {
     counters[key] = value;
+    return *this;
+  }
+  /// \brief Attaches a latency/size distribution to the case.
+  BenchCase& Histogram(const std::string& key, BenchHistogram h) {
+    histograms[key] = std::move(h);
     return *this;
   }
   /// \brief Adopts a MeasureLoop result wholesale (`ops_per_iter` work

@@ -186,6 +186,22 @@ class SessionFleet {
   /// hibernated (hibernated tenants answer from the parked checkpoint).
   Result<std::vector<RoundRecord>> TenantRounds(size_t i) const;
 
+  // -- Observability -------------------------------------------------------
+
+  /// \brief Attaches a borrowed fleet-level metric slot (src/obs/):
+  /// StepRound then records its wall time and publishes the cross-tenant
+  /// quantile payoffs (trim rate, poison acceptance, quality) as gauges.
+  /// Null detaches; with no slot attached StepRound takes no timestamps.
+  /// Recording is write-only telemetry — aggregates and records are
+  /// bit-identical with or without it.
+  void AttachObservability(obs::MetricSlot* slot) { obs_slot_ = slot; }
+
+  /// \brief Attaches per-tenant session sinks (survives hibernation: the
+  /// sinks are persisted on the Tenant and re-attached on rehydration).
+  /// Requires a bootstrapped fleet and a valid index. Default-constructed
+  /// sinks detach.
+  Status AttachTenantObservability(size_t i, const SessionObs& sinks);
+
   /// \brief True when the fleet is in per-tenant stepping mode.
   bool per_tenant_mode() const { return per_tenant_mode_; }
 
@@ -218,6 +234,8 @@ class SessionFleet {
   // Set by BeginPerTenantStepping() (single-threaded, before any worker
   // runs) and cleared by Bootstrap(); read-only while workers step.
   bool per_tenant_mode_ = false;
+  // Borrowed fleet-level metric slot; null = lockstep rounds untimed.
+  obs::MetricSlot* obs_slot_ = nullptr;
   // StepRound scratch, sized to the tenant count once and reused every
   // round: per-tenant result/status slots plus the reduction's rate
   // vectors. With these (and the sessions' own scratch) a steady-state

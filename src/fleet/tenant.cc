@@ -133,6 +133,10 @@ Status RehydrateTenant(Tenant* tenant) {
   ITRIM_ASSIGN_OR_RETURN(Tenant fresh,
                          MaterializeTenant(tenant->spec, tenant->config.seed));
   ITRIM_RETURN_NOT_OK(fresh.session->Restore(tenant->hibernated->checkpoint));
+  // Carry the observability sinks across the rebuild (the fresh session
+  // starts with none attached).
+  fresh.obs = tenant->obs;
+  fresh.session->set_observability(fresh.obs);
   *tenant = std::move(fresh);  // drops `hibernated` (fresh's is null)
   return Status::OK();
 }

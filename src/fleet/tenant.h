@@ -120,6 +120,10 @@ struct Tenant {
   std::unique_ptr<ReferencePolicy> reference;
   std::unique_ptr<TrimmingSession> session;
   std::unique_ptr<TenantHibernation> hibernated;
+  /// Borrowed observability sinks (src/obs/). Persisted here — not in the
+  /// session — so hibernation keeps them and RehydrateTenant re-attaches
+  /// them to the rebuilt session.
+  SessionObs obs;
 
   bool resident() const { return session != nullptr; }
 };

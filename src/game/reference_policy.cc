@@ -64,6 +64,7 @@ Status FittedModelReference::Validate(const ScoreModel& model) const {
 Status FittedModelReference::TrimRound(double percentile, ScoreModel* model,
                                        const PublicBoard& /*board*/,
                                        TrimOutcome* out) {
+  last_refit_iters_ = 0;
   const std::span<const double> obs = model->observations();
   const size_t width = model->ObsWidth();
   const size_t n = model->scores().size();
@@ -115,6 +116,7 @@ Status FittedModelReference::TrimRound(double percentile, ScoreModel* model,
   const double inf = std::numeric_limits<double>::infinity();
   double cutoff = inf;
   for (int iter = 0; iter < options_.max_refits; ++iter) {
+    ++last_refit_iters_;
     // Total order: residual magnitude, NaN last, ties by index — the
     // selected set is independent of the sort algorithm.
     std::sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {

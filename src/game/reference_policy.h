@@ -48,6 +48,11 @@ class ReferencePolicy {
   /// allocation-free round loop, same contract as TrimAtReference).
   virtual Status TrimRound(double percentile, ScoreModel* model,
                            const PublicBoard& board, TrimOutcome* out) = 0;
+
+  /// \brief Model refit iterations the most recent TrimRound ran (0 for
+  /// policies that never refit). Telemetry only — the observability layer
+  /// records it per round; it never feeds back into the game.
+  virtual int last_refit_iterations() const { return 0; }
 };
 
 /// \brief The paper's percentile reference: delegates to the model's
@@ -95,11 +100,13 @@ class FittedModelReference : public ReferencePolicy {
   Status Validate(const ScoreModel& model) const override;
   Status TrimRound(double percentile, ScoreModel* model,
                    const PublicBoard& board, TrimOutcome* out) override;
+  int last_refit_iterations() const override { return last_refit_iters_; }
 
   const Options& options() const { return options_; }
 
  private:
   Options options_;
+  int last_refit_iters_ = 0;
   // Refit-loop scratch, reused across rounds so the session's steady-state
   // Step() stays allocation-free (tests/game/zero_alloc_test.cc).
   LinearRegressor regressor_;

@@ -8,6 +8,8 @@
 #include "game/reference_policy.h"
 #include "game/score_model.h"
 #include "game/trimmer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace itrim {
 
@@ -245,6 +247,12 @@ Result<RoundRecord> TrimmingSession::Step() {
     return Status::FailedPrecondition("session is not bootstrapped");
   }
   const int round = next_round_;
+  if constexpr (obs::kEnabled) {
+    if (obs_.trace != nullptr) {
+      obs_.trace->Record(obs::TraceKind::kRoundStart, obs_.tenant,
+                         static_cast<double>(round));
+    }
+  }
   const size_t poison_count = model_->PoisonCount(config_, &poison_quota_);
 
   RoundContext ctx =
@@ -291,6 +299,7 @@ Result<RoundRecord> TrimmingSession::Step() {
 
   // Trim, into the session-owned scratch outcome (no per-round heap).
   TrimOutcome& outcome = trim_scratch_;
+  bool used_reference = false;
   if (trim_percentile >= 1.0) {
     outcome.keep.assign(scores.size(), 1);
     outcome.kept_count = scores.size();
@@ -302,6 +311,7 @@ Result<RoundRecord> TrimmingSession::Step() {
   } else {
     ITRIM_RETURN_NOT_OK(
         reference_->TrimRound(trim_percentile, model_, board_, &outcome));
+    used_reference = true;
   }
 
   RoundRecord record;
@@ -327,6 +337,11 @@ Result<RoundRecord> TrimmingSession::Step() {
   }
   model_->Commit(outcome.keep);
   records_.Append(record);
+  if constexpr (obs::kEnabled) {
+    if (obs_.metrics != nullptr || obs_.trace != nullptr) {
+      RecordRoundObservability(record, outcome.removed_count, used_reference);
+    }
+  }
 
   prev_ = ObservationFromRecord(record);
   have_prev_ = true;
@@ -334,6 +349,42 @@ Result<RoundRecord> TrimmingSession::Step() {
   if (adversary_ != nullptr) adversary_->Observe(prev_);
   ++next_round_;
   return record;
+}
+
+void TrimmingSession::RecordRoundObservability(const RoundRecord& record,
+                                               size_t removed,
+                                               bool used_reference) {
+  if (obs_.metrics != nullptr) {
+    obs::MetricSlot& m = *obs_.metrics;
+    m.Inc(obs::Counter::kSessionRoundsPlayed);
+    m.Inc(obs::Counter::kSessionBenignReceived, record.benign_received);
+    m.Inc(obs::Counter::kSessionPoisonReceived, record.poison_received);
+    m.Inc(obs::Counter::kSessionBenignKept, record.benign_kept);
+    m.Inc(obs::Counter::kSessionPoisonKept, record.poison_kept);
+    m.Inc(obs::Counter::kSessionObservationsTrimmed, removed);
+  }
+  const int refit_iters =
+      used_reference ? reference_->last_refit_iterations() : 0;
+  if (refit_iters > 0) {
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->Inc(obs::Counter::kSessionReferenceRefits);
+      obs_.metrics->Inc(obs::Counter::kSessionRefitIterations,
+                        static_cast<uint64_t>(refit_iters));
+    }
+    if (obs_.trace != nullptr) {
+      obs_.trace->Record(obs::TraceKind::kReferenceRefit, obs_.tenant,
+                         static_cast<double>(refit_iters));
+    }
+  }
+  if (obs_.trace != nullptr) {
+    // Both events mark the same round boundary: one clock read serves the
+    // pair (see TraceBuffer::RecordAt).
+    const int64_t now_ns = obs::MonotonicNowNs();
+    obs_.trace->RecordAt(now_ns, obs::TraceKind::kTrimDecision, obs_.tenant,
+                         static_cast<double>(removed));
+    obs_.trace->RecordAt(now_ns, obs::TraceKind::kRoundEnd, obs_.tenant,
+                         record.quality);
+  }
 }
 
 GameSummary TrimmingSession::Finish() const {

@@ -49,6 +49,22 @@ namespace itrim {
 class ScoreModel;
 class ReferencePolicy;
 
+namespace obs {
+class MetricSlot;
+class TraceBuffer;
+}  // namespace obs
+
+/// \brief Borrowed observability sinks for a session (src/obs/). Both
+/// pointers may be null (that facet is simply not recorded) and must outlive
+/// the session while attached. Recording is strictly write-only telemetry —
+/// it never reads back into the game, so every bit-identity and zero-alloc
+/// invariant holds with sinks attached or not.
+struct SessionObs {
+  obs::MetricSlot* metrics = nullptr;
+  obs::TraceBuffer* trace = nullptr;
+  uint64_t tenant = 0;  ///< tenant id stamped on trace events
+};
+
 /// \brief Configuration shared by all collection-game variants.
 struct GameConfig {
   int rounds = 20;              ///< number of collection rounds
@@ -209,6 +225,13 @@ class TrimmingSession {
   /// session; subsequent Steps are bit-identical to the original stream.
   Status Restore(const SessionCheckpoint& checkpoint);
 
+  /// \brief Attaches (or detaches, with default-constructed sinks)
+  /// observability. Takes effect from the next Step(); checkpoint/restore
+  /// does not carry sinks — owners re-attach after Restore() (the ingest
+  /// layer does this on rehydration).
+  void set_observability(const SessionObs& sinks) { obs_ = sinks; }
+  const SessionObs& observability() const { return obs_; }
+
   const GameConfig& config() const { return config_; }
   const PublicBoard& board() const { return board_; }
   /// \brief Columnar book of every round played so far, in round order
@@ -219,6 +242,9 @@ class TrimmingSession {
   bool bootstrapped() const { return bootstrapped_; }
 
  private:
+  void RecordRoundObservability(const RoundRecord& record, size_t removed,
+                                bool used_reference);
+
   GameConfig config_;
   Status config_status_;
   ScoreModel* model_;
@@ -233,6 +259,7 @@ class TrimmingSession {
   double poison_quota_ = 0.0;
   int next_round_ = 1;
   bool bootstrapped_ = false;
+  SessionObs obs_;
   RoundLog records_;
   // Round-loop scratch, reused across Step() calls so the steady state
   // never touches the heap (tests/game/zero_alloc_test.cc holds the line).

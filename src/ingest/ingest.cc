@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "game/kernels.h"
+#include "game/public_board.h"
 
 namespace itrim {
 
@@ -80,7 +82,16 @@ Status IngestConfig::Validate() const {
 }
 
 IngestService::IngestService(IngestConfig config, SessionFleet* fleet)
-    : config_(std::move(config)), fleet_(fleet) {}
+    : config_(std::move(config)), fleet_(fleet) {
+  if (config_.metrics != nullptr) {
+    registry_ = config_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  // The service slot exists from birth so pre-Start rejections count too.
+  service_slot_ = registry_->AddSlot("ingest");
+}
 
 IngestService::~IngestService() { Stop(); }
 
@@ -104,7 +115,6 @@ Status IngestService::Start() {
 
   const int shard_count =
       config_.shards > 0 ? config_.shards : DefaultNumThreads();
-  start_resident_ = fleet_->ResidentTenants();
   stopping_.store(false, std::memory_order_relaxed);
   stop_status_ = Status::OK();
   shards_.clear();
@@ -112,6 +122,43 @@ Status IngestService::Start() {
   for (int s = 0; s < shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
   }
+  // Telemetry sinks persist across Start/Stop cycles (slots stay in the
+  // registry, counters stay monotonic); grow them on demand and point the
+  // fresh shards at them.
+  while (shard_slots_.size() < shards_.size()) {
+    shard_slots_.push_back(
+        registry_->AddSlot("shard" + std::to_string(shard_slots_.size())));
+  }
+  if (config_.trace_capacity > 0) {
+    while (shard_traces_.size() < shards_.size()) {
+      shard_traces_.push_back(
+          std::make_unique<obs::TraceBuffer>(config_.trace_capacity));
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->slot = shard_slots_[s];
+    shards_[s]->trace =
+        s < shard_traces_.size() ? shard_traces_[s].get() : nullptr;
+  }
+  // Fold any prior churn back in so `resident_base_ − (hibernations −
+  // rehydrations)` stays exact over the lifetime counters.
+  int64_t prior_churn = 0;
+  for (obs::MetricSlot* slot : shard_slots_) {
+    prior_churn +=
+        static_cast<int64_t>(slot->Get(obs::Counter::kIngestHibernations)) -
+        static_cast<int64_t>(slot->Get(obs::Counter::kIngestRehydrations));
+  }
+  resident_base_ =
+      static_cast<int64_t>(fleet_->ResidentTenants()) + prior_churn;
+  // Scrape-context identity: which kernel build and board backend this
+  // service's rounds actually run on.
+  registry_->SetInfo("kernel",
+                     kernels::VariantName(kernels::ActiveVariant()));
+  if (fleet_->num_tenants() > 0) {
+    registry_->SetInfo(
+        "board", BoardBackendName(fleet_->tenant(0).config.board_backend));
+  }
+  registry_->SetInfo("shards", std::to_string(shard_count));
   // Home assignment before any worker runs: every tenant belongs to
   // exactly one shard, so per-tenant event order is total and tenant
   // state is never touched by two threads.
@@ -119,6 +166,21 @@ Status IngestService::Start() {
     Shard& shard = *shards_[ShardOf(i)];
     shard.owned.push_back(i);
     if (fleet_->TenantResident(i)) ++shard.resident_owned;
+  }
+  // Deep telemetry: every session reports into its home shard's slot and
+  // trace ring (persisted on the Tenant, so hibernation keeps the sinks).
+  if (obs::kEnabled && config_.observe_rounds) {
+    for (const auto& shard : shards_) {
+      for (uint64_t id : shard->owned) {
+        SessionObs sinks;
+        sinks.metrics = shard->slot;
+        sinks.trace = shard->trace;
+        sinks.tenant = id;
+        ITRIM_RETURN_NOT_OK(fleet_->AttachTenantObservability(
+            static_cast<size_t>(id), sinks));
+      }
+    }
+    tenant_sinks_attached_ = true;
   }
   started_ = true;
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -129,31 +191,55 @@ Status IngestService::Start() {
 
 Status IngestService::Admit(const IngestEvent& event, bool blocking) {
   if (!started_ || stopping_.load(std::memory_order_relaxed)) {
-    events_rejected_.fetch_add(1, std::memory_order_relaxed);
+    service_slot_->Inc(obs::Counter::kIngestEventsRejected);
     return Status::FailedPrecondition("ingest service is not running");
   }
   if (event.reports == 0) {
-    events_rejected_.fetch_add(1, std::memory_order_relaxed);
+    service_slot_->Inc(obs::Counter::kIngestEventsRejected);
     return Status::InvalidArgument("event carries zero reports");
   }
   if (event.tenant_id >= fleet_->num_tenants()) {
-    events_rejected_.fetch_add(1, std::memory_order_relaxed);
+    service_slot_->Inc(obs::Counter::kIngestEventsRejected);
     return Status::InvalidArgument("unknown tenant id " +
                                    std::to_string(event.tenant_id));
   }
   Shard& shard = *shards_[ShardOf(event.tenant_id)];
-  const bool pushed =
-      blocking ? shard.queue.Push(event) : shard.queue.TryPush(event);
+  const bool deep = obs::kEnabled && config_.observe_rounds;
+  const bool timed =
+      deep && submit_tick_.fetch_add(1, std::memory_order_relaxed) %
+                      kSubmitSampleEvery ==
+                  0;
+  const int64_t t0 = timed ? obs::MonotonicNowNs() : 0;
+  // TryPush first so a full queue is observable: a blocking Submit that
+  // failed the fast path is a backpressure stall, counted and traced
+  // before the producer parks on Push.
+  bool pushed = shard.queue.TryPush(event);
+  if (!pushed && blocking) {
+    if (!shard.queue.closed()) {
+      shard.slot->Inc(obs::Counter::kIngestBackpressureBlocks);
+      if (shard.trace != nullptr) {
+        shard.trace->Record(obs::TraceKind::kBackpressureBlock,
+                            event.tenant_id,
+                            static_cast<double>(config_.queue_capacity));
+      }
+    }
+    pushed = shard.queue.Push(event);
+  }
   if (!pushed) {
-    events_rejected_.fetch_add(1, std::memory_order_relaxed);
+    service_slot_->Inc(obs::Counter::kIngestEventsRejected);
     if (stopping_.load(std::memory_order_relaxed) || shard.queue.closed()) {
       return Status::FailedPrecondition("ingest service is stopping");
     }
     return Status::Unavailable("ingest shard queue is full");
   }
   shard.submitted.fetch_add(1, std::memory_order_release);
-  shard.events_accepted.fetch_add(1, std::memory_order_relaxed);
-  shard.reports_enqueued.fetch_add(event.reports, std::memory_order_relaxed);
+  shard.slot->Inc(obs::Counter::kIngestEventsAccepted);
+  shard.slot->Inc(obs::Counter::kIngestReportsEnqueued, event.reports);
+  if (timed) {
+    shard.slot->Observe(
+        obs::Histogram::kIngestSubmitLatencyUs,
+        static_cast<double>(obs::MonotonicNowNs() - t0) / 1000.0);
+  }
   return Status::OK();
 }
 
@@ -174,6 +260,7 @@ bool IngestService::DrainLane(Shard& shard, uint64_t tenant_id,
                               TenantLane& lane) {
   const size_t i = static_cast<size_t>(tenant_id);
   const uint32_t round_size = static_cast<uint32_t>(lane.round_size);
+  const bool deep = obs::kEnabled && config_.observe_rounds;
   while (lane.pending >= round_size) {
     if (!fleet_->TenantResident(i)) {
       Status status = fleet_->RehydrateTenant(i);
@@ -183,9 +270,19 @@ bool IngestService::DrainLane(Shard& shard, uint64_t tenant_id,
         lane.pending = 0;  // drop; retrying every batch would spin
         return false;
       }
-      shard.rehydrations.fetch_add(1, std::memory_order_relaxed);
+      shard.slot->Inc(obs::Counter::kIngestRehydrations);
+      if (shard.trace != nullptr) {
+        shard.trace->Record(
+            obs::TraceKind::kRehydrate, tenant_id,
+            static_cast<double>(fleet_->tenant(i).session->next_round() - 1));
+      }
       ++shard.resident_owned;
     }
+    // Round wall time is sampled 1-in-4 per lane: the session's own trace
+    // events already stamp every round boundary, so the histogram can
+    // afford to skip clock reads on the hot path.
+    const bool timed = deep && (lane.wall_tick++ & 3u) == 0;
+    const int64_t t0 = timed ? obs::MonotonicNowNs() : 0;
     Result<RoundRecord> record = fleet_->StepTenant(i);
     if (!record.ok()) {
       std::lock_guard<std::mutex> lock(shard.error_mu);
@@ -193,7 +290,12 @@ bool IngestService::DrainLane(Shard& shard, uint64_t tenant_id,
       lane.pending = 0;
       return false;
     }
-    shard.rounds_played.fetch_add(1, std::memory_order_relaxed);
+    shard.slot->Inc(obs::Counter::kIngestRoundsPlayed);
+    if (timed) {
+      shard.slot->Observe(
+          obs::Histogram::kIngestRoundWallUs,
+          static_cast<double>(obs::MonotonicNowNs() - t0) / 1000.0);
+    }
     lane.pending -= round_size;
   }
   return true;
@@ -220,13 +322,20 @@ void IngestService::EnforceResidency(Shard& shard) {
       }
     }
     if (!found) return;
+    // Rounds-at-park, read before the session is released.
+    const int parked_rounds =
+        fleet_->tenant(static_cast<size_t>(victim)).session->next_round() - 1;
     Status status = fleet_->HibernateTenant(static_cast<size_t>(victim));
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(shard.error_mu);
       if (shard.error.ok()) shard.error = status;
       return;
     }
-    shard.hibernations.fetch_add(1, std::memory_order_relaxed);
+    shard.slot->Inc(obs::Counter::kIngestHibernations);
+    if (shard.trace != nullptr) {
+      shard.trace->Record(obs::TraceKind::kHibernate, victim,
+                          static_cast<double>(parked_rounds));
+    }
     --shard.resident_owned;
   }
 }
@@ -246,6 +355,9 @@ void IngestService::WorkerLoop(size_t shard_index) {
     const size_t taken = shard.queue.PopBatch(&batch, config_.batch_max);
     if (taken == 0) break;  // closed and fully drained
     ++batch_counter;
+    shard.slot->Inc(obs::Counter::kIngestBatchesPopped);
+    shard.slot->Observe(obs::Histogram::kIngestPopBatchSize,
+                        static_cast<double>(taken));
     const int64_t now_ns = SteadyNowNs();
 
     for (const IngestEvent& event : batch) {
@@ -269,8 +381,12 @@ void IngestService::WorkerLoop(size_t shard_index) {
           lane.tokens -= static_cast<double>(event.reports);
         } else {
           admitted = 0;
-          shard.reports_rate_limited.fetch_add(event.reports,
-                                               std::memory_order_relaxed);
+          shard.slot->Inc(obs::Counter::kIngestReportsShed, event.reports);
+          if (shard.trace != nullptr) {
+            shard.trace->Record(obs::TraceKind::kRateLimitShed,
+                                event.tenant_id,
+                                static_cast<double>(event.reports));
+          }
         }
       }
       lane.pending += admitted;
@@ -317,6 +433,14 @@ Status IngestService::Stop() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  // Detach per-tenant sinks: a later owner of the fleet should not keep
+  // writing ingest-attributed telemetry into this service's slots.
+  if (tenant_sinks_attached_) {
+    for (size_t i = 0; i < fleet_->num_tenants(); ++i) {
+      (void)fleet_->AttachTenantObservability(i, SessionObs{});
+    }
+    tenant_sinks_attached_ = false;
+  }
   Status first = Status::OK();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->error_mu);
@@ -329,29 +453,65 @@ Status IngestService::Stop() {
 
 IngestStats IngestService::Stats() const {
   IngestStats stats;
-  stats.events_rejected = events_rejected_.load(std::memory_order_relaxed);
-  stats.resident_tenants = start_resident_;
+  stats.events_rejected =
+      service_slot_->Get(obs::Counter::kIngestEventsRejected);
+  int64_t resident = resident_base_;
   for (const auto& shard : shards_) {
-    stats.events_accepted +=
-        shard->events_accepted.load(std::memory_order_relaxed);
-    stats.reports_enqueued +=
-        shard->reports_enqueued.load(std::memory_order_relaxed);
-    stats.reports_rate_limited +=
-        shard->reports_rate_limited.load(std::memory_order_relaxed);
-    stats.rounds_played += shard->rounds_played.load(std::memory_order_relaxed);
+    const obs::MetricSlot& slot = *shard->slot;
+    stats.events_accepted += slot.Get(obs::Counter::kIngestEventsAccepted);
+    stats.reports_enqueued += slot.Get(obs::Counter::kIngestReportsEnqueued);
+    stats.reports_rate_limited += slot.Get(obs::Counter::kIngestReportsShed);
+    stats.rounds_played += slot.Get(obs::Counter::kIngestRoundsPlayed);
     // Rehydrations first: every rehydration is preceded by its
     // hibernation on the same shard, so this read order keeps
     // hibernations >= rehydrations even while the worker is flipping
     // tenants between the two loads.
-    const uint64_t rehydrations =
-        shard->rehydrations.load(std::memory_order_relaxed);
-    const uint64_t hibernations =
-        shard->hibernations.load(std::memory_order_relaxed);
+    const uint64_t rehydrations = slot.Get(obs::Counter::kIngestRehydrations);
+    const uint64_t hibernations = slot.Get(obs::Counter::kIngestHibernations);
     stats.hibernations += hibernations;
     stats.rehydrations += rehydrations;
-    stats.resident_tenants -= static_cast<size_t>(hibernations - rehydrations);
+    resident -= static_cast<int64_t>(hibernations - rehydrations);
   }
+  stats.resident_tenants =
+      static_cast<size_t>(std::max<int64_t>(0, resident));
   return stats;
+}
+
+obs::MetricsSnapshot IngestService::Scrape() const {
+  // Refresh the scrape-time gauges. Depth reads `processed` before
+  // `submitted` (events are submitted before they are processed), so the
+  // difference can never go negative mid-flight.
+  for (const auto& shard : shards_) {
+    const uint64_t processed =
+        shard->processed.load(std::memory_order_acquire);
+    const uint64_t submitted =
+        shard->submitted.load(std::memory_order_acquire);
+    shard->slot->Set(obs::Gauge::kIngestQueueDepth,
+                     static_cast<double>(submitted - processed));
+  }
+  service_slot_->Set(obs::Gauge::kIngestResidentTenants,
+                     static_cast<double>(Stats().resident_tenants));
+  return registry_->Scrape();
+}
+
+std::vector<obs::TraceEvent> IngestService::TraceSnapshot() const {
+  std::vector<obs::TraceEvent> merged;
+  std::vector<obs::TraceEvent> events;
+  for (const auto& trace : shard_traces_) {
+    trace->Snapshot(&events);
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return merged;
+}
+
+uint64_t IngestService::TraceDropped() const {
+  uint64_t dropped = 0;
+  for (const auto& trace : shard_traces_) dropped += trace->dropped();
+  return dropped;
 }
 
 }  // namespace itrim

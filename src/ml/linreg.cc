@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "game/kernels.h"
+#include "obs/metrics.h"
 
 namespace itrim {
 
@@ -327,7 +328,8 @@ Result<TrimResult> TrimDefense(const RegressionData& data,
 }
 
 Result<ITrimResult> ITrimDefense(const RegressionData& data,
-                                 const ITrimOptions& options, Rng* rng) {
+                                 const ITrimOptions& options, Rng* rng,
+                                 obs::MetricSlot* metrics) {
   ITRIM_RETURN_NOT_OK(CheckRegressionData(data));
   if (!(options.eps_step > 0.0) || !(options.eps_max >= options.eps_step) ||
       options.eps_max >= 1.0) {
@@ -375,6 +377,9 @@ Result<ITrimResult> ITrimDefense(const RegressionData& data,
   if (best_ratio < options.knee_ratio) best_index = 0;  // no knick: clean
   result.eps_hat = result.grid[best_index];
   result.trim = std::move(runs[best_index]);
+  if (metrics != nullptr) {
+    metrics->Set(obs::Gauge::kMlEpsHat, result.eps_hat);
+  }
   return result;
 }
 

@@ -31,6 +31,10 @@
 
 namespace itrim {
 
+namespace obs {
+class MetricSlot;
+}  // namespace obs
+
 /// \brief A fitted linear model y = w . x + b.
 struct LinearModel {
   std::vector<double> weights;
@@ -162,9 +166,12 @@ struct ITrimResult {
 /// \brief iTrim: runs TrimDefense at every grid eps, finds the knick (the
 /// largest consecutive drop in kept-subset MSE, which lands at the first
 /// grid point whose keep budget excludes all poison), and returns the Trim
-/// result at the estimated contamination.
+/// result at the estimated contamination. When `metrics` is non-null the
+/// estimate is published as the ml_eps_hat gauge (src/obs/); telemetry
+/// only — the sweep itself is unaffected.
 Result<ITrimResult> ITrimDefense(const RegressionData& data,
-                                 const ITrimOptions& options, Rng* rng);
+                                 const ITrimOptions& options, Rng* rng,
+                                 obs::MetricSlot* metrics = nullptr);
 
 }  // namespace itrim
 

@@ -1,0 +1,225 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace itrim::obs {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string NumU(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Prometheus label values escape \, " and newline.
+std::string PromLabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string SlotLabel(const SlotValues& slot) {
+  if (slot.label.empty()) return "";
+  return "{slot=\"" + PromLabelEscape(slot.label) + "\"}";
+}
+
+std::string SlotLabelWith(const SlotValues& slot, const std::string& extra) {
+  if (slot.label.empty()) return "{" + extra + "}";
+  return "{slot=\"" + PromLabelEscape(slot.label) + "\"," + extra + "}";
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+
+  if (!snap.info.empty()) {
+    out += "# HELP itrim_build_info Build and dispatch identity of this "
+           "process.\n";
+    out += "# TYPE itrim_build_info gauge\n";
+    out += "itrim_build_info{";
+    for (size_t i = 0; i < snap.info.size(); ++i) {
+      if (i > 0) out += ",";
+      out += snap.info[i].first + "=\"" +
+             PromLabelEscape(snap.info[i].second) + "\"";
+    }
+    out += "} 1\n";
+  }
+
+  for (int c = 0; c < kNumCounters; ++c) {
+    const CounterInfo& info = MetaOf(static_cast<Counter>(c));
+    const std::string family = std::string("itrim_") + info.name + "_total";
+    out += "# HELP " + family + " " + info.help + "\n";
+    out += "# TYPE " + family + " counter\n";
+    for (const SlotValues& slot : snap.slots) {
+      out += family + SlotLabel(slot) + " " + NumU(slot.counters[c]) + "\n";
+    }
+  }
+
+  for (int g = 0; g < kNumGauges; ++g) {
+    const GaugeInfo& info = MetaOf(static_cast<Gauge>(g));
+    const std::string family = std::string("itrim_") + info.name;
+    out += "# HELP " + family + " " + info.help + "\n";
+    out += "# TYPE " + family + " gauge\n";
+    for (const SlotValues& slot : snap.slots) {
+      out += family + SlotLabel(slot) + " " + Num(slot.gauges[g]) + "\n";
+    }
+  }
+
+  for (int h = 0; h < kNumHistograms; ++h) {
+    const HistogramInfo& info = MetaOf(static_cast<Histogram>(h));
+    const std::string family = std::string("itrim_") + info.name;
+    out += "# HELP " + family + " " + info.help + "\n";
+    out += "# TYPE " + family + " histogram\n";
+    for (const SlotValues& slot : snap.slots) {
+      const HistogramValue& hv = slot.histograms[h];
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < info.bounds.size(); ++b) {
+        cumulative += hv.counts[b];
+        out += family + "_bucket" +
+               SlotLabelWith(slot, "le=\"" + Num(info.bounds[b]) + "\"") +
+               " " + NumU(cumulative) + "\n";
+      }
+      out += family + "_bucket" + SlotLabelWith(slot, "le=\"+Inf\"") + " " +
+             NumU(hv.count) + "\n";
+      out += family + "_sum" + SlotLabel(slot) + " " + Num(hv.sum) + "\n";
+      out += family + "_count" + SlotLabel(slot) + " " + NumU(hv.count) + "\n";
+    }
+  }
+
+  return out;
+}
+
+namespace {
+
+void AppendCaseJson(const SlotValues& slot, const std::string& case_name,
+                    std::string* out) {
+  *out += "    {\n      \"name\": \"" + JsonEscape(case_name) + "\",\n";
+  *out += "      \"counters\": {";
+  for (int c = 0; c < kNumCounters; ++c) {
+    if (c > 0) *out += ", ";
+    *out += "\"" + std::string(MetaOf(static_cast<Counter>(c)).name) +
+            "\": " + NumU(slot.counters[c]);
+  }
+  *out += "},\n      \"gauges\": {";
+  for (int g = 0; g < kNumGauges; ++g) {
+    if (g > 0) *out += ", ";
+    *out += "\"" + std::string(MetaOf(static_cast<Gauge>(g)).name) +
+            "\": " + Num(slot.gauges[g]);
+  }
+  *out += "},\n      \"histograms\": {";
+  for (int h = 0; h < kNumHistograms; ++h) {
+    const HistogramInfo& info = MetaOf(static_cast<Histogram>(h));
+    const HistogramValue& hv = slot.histograms[h];
+    if (h > 0) *out += ", ";
+    *out += "\"" + std::string(info.name) + "\": {\"bounds\": [";
+    for (size_t b = 0; b < info.bounds.size(); ++b) {
+      if (b > 0) *out += ", ";
+      *out += Num(info.bounds[b]);
+    }
+    *out += "], \"counts\": [";
+    for (size_t b = 0; b < hv.counts.size(); ++b) {
+      if (b > 0) *out += ", ";
+      *out += NumU(hv.counts[b]);
+    }
+    *out += "], \"sum\": " + Num(hv.sum) +
+            ", \"count\": " + NumU(hv.count) + "}";
+  }
+  *out += "}\n    }";
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema_version\": 1,\n  \"kind\": \"obs_scrape\",\n";
+  out += "  \"info\": {";
+  for (size_t i = 0; i < snap.info.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(snap.info[i].first) + "\": \"" +
+           JsonEscape(snap.info[i].second) + "\"";
+  }
+  out += "},\n  \"cases\": [\n";
+  AppendCaseJson(snap.merged, "merged", &out);
+  for (const SlotValues& slot : snap.slots) {
+    out += ",\n";
+    AppendCaseJson(slot, "slot/" + slot.label, &out);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string TracesJson(const std::vector<TraceEvent>& events,
+                       uint64_t dropped) {
+  std::string out;
+  out.reserve(256 + events.size() * 96);
+  out += "{\n  \"schema_version\": 1,\n  \"kind\": \"obs_trace\",\n";
+  out += "  \"dropped\": " + NumU(dropped) + ",\n";
+  out += "  \"events\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    out += "    {\"seq\": " + NumU(ev.seq) +
+           ", \"ts_ns\": " + NumU(static_cast<uint64_t>(ev.ts_ns)) +
+           ", \"kind\": \"" + TraceKindName(ev.kind) + "\", \"tenant\": " +
+           NumU(ev.tenant) + ", \"value\": " + Num(ev.value) + "}";
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace itrim::obs

@@ -1,0 +1,44 @@
+// Exporters for metrics snapshots and trace windows:
+//   - Prometheus text exposition format (linted by tools/promlint.py in CI);
+//   - BENCH-style JSON (the repo's machine-facing telemetry contract, the
+//     same shape tools/bench_gate.py validates);
+//   - trace JSON consumed by tools/trace_dump.py.
+// All of these operate on plain snapshot values — building the text never
+// touches live slots, so an exporter can run on any thread.
+#ifndef ITRIM_OBS_EXPORT_H_
+#define ITRIM_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace itrim::obs {
+
+/// \brief Renders a snapshot in the Prometheus text exposition format: one
+/// HELP/TYPE header per family, one sample per registered slot (labeled
+/// `slot="<label>"`), cumulative histogram buckets with a trailing
+/// `le="+Inf"`, counters suffixed `_total`, and an `itrim_build_info` gauge
+/// carrying the snapshot's identity pairs.
+std::string PrometheusText(const MetricsSnapshot& snap);
+
+/// \brief Renders a snapshot as BENCH-style JSON (schema_version 1): one
+/// case per slot plus a leading "merged" case, counters/gauges as flat maps
+/// and histograms as {bounds, counts, sum, count} objects.
+std::string MetricsJson(const MetricsSnapshot& snap);
+
+/// \brief Renders a trace window (e.g. a merged multi-shard snapshot) as
+/// JSON: {"schema_version": 1, "kind": "obs_trace", "dropped": N,
+/// "events": [{seq, ts_ns, kind, tenant, value}, ...]}.
+std::string TracesJson(const std::vector<TraceEvent>& events,
+                       uint64_t dropped = 0);
+
+/// \brief Writes `content` to `path` (for OBS_*.prom / trace dumps emitted
+/// next to BENCH_*.json).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace itrim::obs
+
+#endif  // ITRIM_OBS_EXPORT_H_

@@ -1,0 +1,68 @@
+#include "obs/sampler.h"
+
+#include <utility>
+
+namespace itrim::obs {
+
+ScrapeSampler::ScrapeSampler(const MetricsRegistry* registry,
+                             std::chrono::milliseconds period,
+                             Callback callback)
+    : registry_(registry), period_(period), callback_(std::move(callback)) {}
+
+ScrapeSampler::~ScrapeSampler() { Stop(); }
+
+Status ScrapeSampler::Start() {
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument("ScrapeSampler: null registry");
+  }
+  if (!callback_) {
+    return Status::InvalidArgument("ScrapeSampler: null callback");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("ScrapeSampler: already running");
+  }
+  stop_requested_ = false;
+  samples_ = 0;
+  thread_ = std::thread(&ScrapeSampler::Loop, this);
+  running_ = true;
+  return Status::OK();
+}
+
+void ScrapeSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool ScrapeSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint64_t ScrapeSampler::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+void ScrapeSampler::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, period_, [this] { return stop_requested_; });
+    }
+    MetricsSnapshot snap = registry_->Scrape();
+    callback_(snap);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++samples_;
+    if (stop_requested_) return;
+  }
+}
+
+}  // namespace itrim::obs

@@ -1,0 +1,63 @@
+// ScrapeSampler: an optional background thread that scrapes a registry on a
+// fixed period and hands each snapshot to a callback (push-gateway writers,
+// rolling log files, test probes). It only ever calls
+// MetricsRegistry::Scrape() — reads of already-published atomics — so it
+// never touches session/fleet state and cannot perturb determinism.
+#ifndef ITRIM_OBS_SAMPLER_H_
+#define ITRIM_OBS_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace itrim::obs {
+
+class ScrapeSampler {
+ public:
+  using Callback = std::function<void(const MetricsSnapshot&)>;
+
+  /// \brief Samples `registry` every `period` and invokes `callback` with
+  /// the snapshot (on the sampler thread). The registry must outlive Stop().
+  ScrapeSampler(const MetricsRegistry* registry,
+                std::chrono::milliseconds period, Callback callback);
+  ~ScrapeSampler();
+
+  ScrapeSampler(const ScrapeSampler&) = delete;
+  ScrapeSampler& operator=(const ScrapeSampler&) = delete;
+
+  /// \brief Starts the sampling thread; FailedPrecondition when already
+  /// running or InvalidArgument for a null registry/callback.
+  Status Start();
+
+  /// \brief Stops and joins; takes one final sample before exiting so short
+  /// runs still observe their tail. Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  /// \brief Snapshots taken so far (including the final flush sample).
+  uint64_t samples() const;
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* registry_;
+  std::chrono::milliseconds period_;
+  Callback callback_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace itrim::obs
+
+#endif  // ITRIM_OBS_SAMPLER_H_

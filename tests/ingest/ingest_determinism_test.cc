@@ -213,9 +213,11 @@ TEST_F(IngestDeterminismTest, HibernationChurnIsBitIdentical) {
     }
     ASSERT_TRUE(service.Flush().ok());
 
-    IngestStats stats = service.Stats();
-    EXPECT_GT(stats.hibernations, 0u);
-    EXPECT_GT(stats.rehydrations, 0u);
+    if (obs::kEnabled) {  // churn counters live on the obs slots
+      IngestStats stats = service.Stats();
+      EXPECT_GT(stats.hibernations, 0u);
+      EXPECT_GT(stats.rehydrations, 0u);
+    }
     ExpectBooksBitIdentical(expected, fleet);
     ASSERT_TRUE(service.Stop().ok());
   }

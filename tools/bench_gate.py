@@ -10,7 +10,16 @@ Compares a freshly emitted bench report against a checked-in baseline
     count is zero — the zero-allocation steady-state contract is
     machine-independent, so it is enforced exactly, with no tolerance;
   * a gated baseline case missing from the current report (a silently
-    dropped bench would otherwise "pass" forever).
+    dropped bench would otherwise "pass" forever);
+  * a malformed histogram entry in either report — cases may carry a
+    "histograms" object (bench_obs attaches its scrape distributions) and
+    every histogram must have strictly ascending bounds, len(bounds) + 1
+    bucket counts and a total equal to the bucket sum.
+
+Case pairs named `<label>_off` / `<label>_on` (the A/B shape bench_obs
+emits for observability overhead) additionally get their relative
+overhead printed for current and baseline, so a creeping feature cost
+stays visible even while both arms hold their individual floors.
 
 Cases present in the current report but absent from the baseline cannot
 gate (there is nothing to compare against); they are always listed in the
@@ -75,7 +84,47 @@ def load(path):
         if not isinstance(case, dict) or not case.get("name"):
             sys.exit(f"{path}: malformed case entry {case!r} — every case "
                      "needs a 'name'")
+        validate_histograms(path, case)
     return report
+
+
+def validate_histograms(path, case):
+    """Structural check of histogram-valued entries (emitted by benches
+    that attach obs distributions, e.g. bench_obs): ascending bounds, one
+    overflow bucket (len(counts) == len(bounds) + 1), and a total that
+    matches the per-bucket sum. A malformed histogram means the emitting
+    side is broken, so it fails the load rather than a single gate."""
+    histograms = case.get("histograms", {})
+    if not isinstance(histograms, dict):
+        sys.exit(f"{path}: case {case['name']!r}: 'histograms' must be an "
+                 f"object, got {type(histograms).__name__}")
+    for hist_name, hist in histograms.items():
+        where = f"{path}: case {case['name']!r} histogram {hist_name!r}"
+        if not isinstance(hist, dict):
+            sys.exit(f"{where}: expected an object")
+        bounds = hist.get("bounds")
+        counts = hist.get("counts")
+        if not isinstance(bounds, list) or not all(
+                isinstance(b, (int, float)) and not isinstance(b, bool)
+                for b in bounds):
+            sys.exit(f"{where}: 'bounds' must be a list of numbers")
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            sys.exit(f"{where}: bounds must be strictly ascending, got "
+                     f"{bounds}")
+        if not isinstance(counts, list) or not all(
+                isinstance(c, int) and not isinstance(c, bool) and c >= 0
+                for c in counts):
+            sys.exit(f"{where}: 'counts' must be a list of non-negative "
+                     "integers")
+        if len(counts) != len(bounds) + 1:
+            sys.exit(f"{where}: expected {len(bounds) + 1} buckets "
+                     f"(bounds + overflow), got {len(counts)}")
+        total = hist.get("count")
+        if not isinstance(total, int) or total != sum(counts):
+            sys.exit(f"{where}: 'count' {total!r} does not equal the "
+                     f"bucket sum {sum(counts)}")
+        if not isinstance(hist.get("sum"), (int, float)):
+            sys.exit(f"{where}: 'sum' must be a number")
 
 
 def cases_by_name(report):
@@ -95,6 +144,38 @@ def case_tolerance(base_case, name, default):
         sys.exit(f"case {name!r}: gate_tolerance must be a fraction in "
                  f"[0, 1), got {tolerance!r}")
     return float(tolerance)
+
+
+def overhead_pairs(cases):
+    """Yields (label, off_case, on_case) for every `<label>_off` /
+    `<label>_on` case pair — the shape benches that A/B a feature's cost
+    emit (bench_obs: overhead/ingest_off vs overhead/ingest_on)."""
+    for name in sorted(cases):
+        if not name.endswith("_off"):
+            continue
+        on_name = name[:-len("_off")] + "_on"
+        if on_name in cases:
+            yield name[:-len("_off")], cases[name], cases[on_name]
+
+
+def report_overhead_deltas(base_cases, cur_cases):
+    """Prints the enabled-vs-disabled overhead of each A/B case pair in
+    the current report next to the baseline's, so a creeping feature cost
+    is visible in the gate log even while both arms individually stay
+    above their throughput floors."""
+    for label, off, on in overhead_pairs(cur_cases):
+        if not (gates_throughput(off) and gates_throughput(on)):
+            continue
+        cur_pct = (on["wall_ms"] - off["wall_ms"]) / off["wall_ms"] * 100.0
+        line = f"{label}_on vs _off: {cur_pct:+.2f}% overhead"
+        base_off = base_cases.get(f"{label}_off")
+        base_on = base_cases.get(f"{label}_on")
+        if base_off and base_on and gates_throughput(base_off) \
+                and gates_throughput(base_on):
+            base_pct = (base_on["wall_ms"] - base_off["wall_ms"]) \
+                / base_off["wall_ms"] * 100.0
+            line += f" (baseline {base_pct:+.2f}%)"
+        print(line)
 
 
 def main():
@@ -142,9 +223,10 @@ def main():
             cur_rate = cur["ops"] / (cur["wall_ms"] / 1e3)
             floor = base_rate * (1.0 - tolerance)
             verdict = "ok" if cur_rate >= floor else "REGRESSION"
+            delta = (cur_rate - base_rate) / base_rate
             print(f"{name}: {cur_rate:,.0f} ops/s vs baseline "
-                  f"{base_rate:,.0f} (floor {floor:,.0f}, tolerance "
-                  f"{tolerance:.0%}) -> {verdict}")
+                  f"{base_rate:,.0f} ({delta:+.1%}; floor {floor:,.0f}, "
+                  f"tolerance {tolerance:.0%}) -> {verdict}")
             if cur_rate < floor:
                 failures.append(
                     f"case {name!r}: throughput {cur_rate:,.0f} ops/s below "
@@ -160,6 +242,8 @@ def main():
                     "steady-state contract broke")
             else:
                 print(f"{name}: steady-state allocations 0 -> ok")
+
+    report_overhead_deltas(base_cases, cur_cases)
 
     unbaselined = sorted(set(cur_cases) - set(base_cases))
     if unbaselined:

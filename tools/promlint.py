@@ -1,0 +1,324 @@
+#!/usr/bin/env python3
+"""Lints a Prometheus text-exposition file (version 0.0.4).
+
+CI runs this over the OBS_scrape.prom that bench_obs publishes, so a
+format regression in src/obs/export.cc (a family emitted without TYPE, a
+non-cumulative histogram, a broken label escape) fails the perf-gate leg
+instead of silently producing a scrape Prometheus would reject or
+misread.
+
+Checks:
+
+  * line grammar: every line is `# HELP <name> <text>`, `# TYPE <name>
+    <type>`, a sample `name{labels} value`, or blank;
+  * metric and label names match the Prometheus charset, label values are
+    properly quoted/escaped, sample values parse as floats (+Inf/-Inf/NaN
+    allowed);
+  * HELP/TYPE appear at most once per family, before its samples, with a
+    known type (counter/gauge/histogram/summary/untyped);
+  * counter sample names end in `_total`;
+  * histogram families carry `_bucket` samples with an `le` label, bucket
+    counts are cumulative and non-decreasing per label set, the `+Inf`
+    bucket exists and equals the family's `_count`, and `_sum`/`_count`
+    are present;
+  * no duplicate sample (same name and label set);
+  * the file ends with a newline.
+
+Usage: promlint.py FILE...   (or `promlint.py --selftest`)
+
+Uses only the Python standard library. Exit status 0 = clean, 1 = lint
+errors (listed one per line on stderr).
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+
+
+def parse_labels(raw, errors, lineno):
+    """Parses `{k="v",...}` into a sorted tuple of (key, value) pairs.
+    Returns None (and appends to errors) on malformed syntax."""
+    if raw is None:
+        return ()
+    body = raw[1:-1]
+    labels = []
+    pos = 0
+    while pos < len(body):
+        eq = body.find("=", pos)
+        if eq < 0:
+            errors.append(f"line {lineno}: malformed label pair in {raw!r}")
+            return None
+        name = body[pos:eq]
+        if not LABEL_NAME.match(name):
+            errors.append(f"line {lineno}: bad label name {name!r}")
+            return None
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            errors.append(f"line {lineno}: label value of {name!r} must be "
+                          "double-quoted")
+            return None
+        # Scan the quoted value honoring \\, \" and \n escapes.
+        value_chars = []
+        i = eq + 2
+        while i < len(body):
+            c = body[i]
+            if c == "\\":
+                if i + 1 >= len(body) or body[i + 1] not in ('\\', '"', 'n'):
+                    errors.append(f"line {lineno}: bad escape in label value "
+                                  f"of {name!r}")
+                    return None
+                value_chars.append({"\\": "\\", '"': '"',
+                                    "n": "\n"}[body[i + 1]])
+                i += 2
+                continue
+            if c == '"':
+                break
+            value_chars.append(c)
+            i += 1
+        else:
+            errors.append(f"line {lineno}: unterminated label value of "
+                          f"{name!r}")
+            return None
+        labels.append((name, "".join(value_chars)))
+        pos = i + 1
+        if pos < len(body):
+            if body[pos] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels "
+                              f"in {raw!r}")
+                return None
+            pos += 1
+    return tuple(sorted(labels))
+
+
+def parse_value(raw):
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def family_of(sample_name):
+    """Strips the histogram/summary sample suffixes to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[:-len(suffix)]
+    return sample_name
+
+
+def lint(text, origin="<input>"):
+    """Returns a list of error strings (empty = clean)."""
+    errors = []
+    if text and not text.endswith("\n"):
+        errors.append(f"{origin}: missing trailing newline")
+    helped, typed = {}, {}
+    sampled_families = set()
+    seen_samples = set()
+    # family -> {labelset-without-le: [(le, value)]}
+    buckets = {}
+    sums, counts = {}, {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: allowed
+            if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                errors.append(f"line {lineno}: malformed {parts[1]} comment")
+                continue
+            name = parts[2]
+            if parts[1] == "HELP":
+                if name in helped:
+                    errors.append(f"line {lineno}: duplicate HELP for "
+                                  f"{name!r}")
+                helped[name] = lineno
+            else:
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in KNOWN_TYPES:
+                    errors.append(f"line {lineno}: unknown TYPE {kind!r} "
+                                  f"for {name!r}")
+                if name in typed:
+                    errors.append(f"line {lineno}: duplicate TYPE for "
+                                  f"{name!r}")
+                if name in sampled_families:
+                    errors.append(f"line {lineno}: TYPE for {name!r} after "
+                                  "its samples")
+                typed[name] = kind
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample line {line!r}")
+            continue
+        sample_name, raw_labels, raw_value = match.groups()
+        labels = parse_labels(raw_labels, errors, lineno)
+        if labels is None:
+            continue
+        value = parse_value(raw_value)
+        if value is None:
+            errors.append(f"line {lineno}: sample value {raw_value!r} is "
+                          "not a float")
+            continue
+        if (sample_name, labels) in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {sample_name}"
+                          f"{raw_labels or ''}")
+        seen_samples.add((sample_name, labels))
+
+        family = family_of(sample_name)
+        ftype = typed.get(family) or typed.get(sample_name)
+        sampled_families.add(family if ftype else sample_name)
+        if ftype == "counter" and not sample_name.endswith("_total"):
+            errors.append(f"line {lineno}: counter sample {sample_name!r} "
+                          "does not end in _total")
+        if ftype == "histogram":
+            rest = tuple(kv for kv in labels if kv[0] != "le")
+            if sample_name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: histogram bucket of "
+                                  f"{family!r} has no le label")
+                    continue
+                le_value = parse_value(le)
+                if le_value is None:
+                    errors.append(f"line {lineno}: unparseable le={le!r}")
+                    continue
+                buckets.setdefault(family, {}).setdefault(rest, []).append(
+                    (le_value, value))
+            elif sample_name.endswith("_sum"):
+                sums.setdefault(family, set()).add(rest)
+            elif sample_name.endswith("_count"):
+                counts.setdefault(family, {})[rest] = value
+
+    for name in sampled_families:
+        if name not in typed and family_of(name) not in typed:
+            errors.append(f"family {name!r} has samples but no TYPE")
+
+    for family, kind in typed.items():
+        if kind != "histogram":
+            continue
+        for labelset, series in buckets.get(family, {}).items():
+            pretty = "{" + ",".join(f'{k}="{v}"' for k, v in labelset) + "}"
+            series.sort(key=lambda pair: pair[0])
+            if not series or not math.isinf(series[-1][0]):
+                errors.append(f"histogram {family}{pretty}: no +Inf bucket")
+                continue
+            cumulative = [v for _, v in series]
+            if cumulative != sorted(cumulative):
+                errors.append(f"histogram {family}{pretty}: bucket counts "
+                              "are not cumulative")
+            total = counts.get(family, {}).get(labelset)
+            if total is None:
+                errors.append(f"histogram {family}{pretty}: missing _count")
+            elif total != cumulative[-1]:
+                errors.append(f"histogram {family}{pretty}: _count {total} "
+                              f"!= +Inf bucket {cumulative[-1]}")
+            if labelset not in sums.get(family, set()):
+                errors.append(f"histogram {family}{pretty}: missing _sum")
+        if family in typed and family not in buckets and \
+                family in sampled_families:
+            errors.append(f"histogram {family!r} has samples but no "
+                          "_bucket series")
+    return errors
+
+
+GOOD_FIXTURE = """\
+# HELP itrim_ingest_events_accepted_total Events accepted.
+# TYPE itrim_ingest_events_accepted_total counter
+itrim_ingest_events_accepted_total{slot="shard0"} 5
+itrim_ingest_events_accepted_total{slot="shard1"} 2
+# HELP itrim_ingest_queue_depth Queue depth.
+# TYPE itrim_ingest_queue_depth gauge
+itrim_ingest_queue_depth{slot="shard0"} 3
+# HELP itrim_ingest_pop_batch_size Batch sizes.
+# TYPE itrim_ingest_pop_batch_size histogram
+itrim_ingest_pop_batch_size_bucket{slot="shard0",le="1"} 1
+itrim_ingest_pop_batch_size_bucket{slot="shard0",le="+Inf"} 2
+itrim_ingest_pop_batch_size_sum{slot="shard0"} 101
+itrim_ingest_pop_batch_size_count{slot="shard0"} 2
+# HELP itrim_build_info Build identity.
+# TYPE itrim_build_info gauge
+itrim_build_info{kernel="generic",board="flat"} 1
+"""
+
+BAD_FIXTURES = {
+    "missing TYPE": "itrim_orphan_total 3\n",
+    "non-cumulative histogram": (
+        "# TYPE itrim_h histogram\n"
+        'itrim_h_bucket{le="1"} 5\n'
+        'itrim_h_bucket{le="+Inf"} 2\n'
+        "itrim_h_sum 1\nitrim_h_count 2\n"),
+    "no +Inf bucket": (
+        "# TYPE itrim_h histogram\n"
+        'itrim_h_bucket{le="1"} 1\n'
+        "itrim_h_sum 1\nitrim_h_count 1\n"),
+    "count mismatch": (
+        "# TYPE itrim_h histogram\n"
+        'itrim_h_bucket{le="+Inf"} 2\n'
+        "itrim_h_sum 1\nitrim_h_count 3\n"),
+    "counter without _total": (
+        "# TYPE itrim_c counter\nitrim_c 1\n"),
+    "duplicate sample": (
+        "# TYPE itrim_g gauge\nitrim_g 1\nitrim_g 2\n"),
+    "bad label quoting": (
+        "# TYPE itrim_g gauge\nitrim_g{slot=shard0} 1\n"),
+    "bad value": (
+        "# TYPE itrim_g gauge\nitrim_g pancake\n"),
+    "missing trailing newline": (
+        "# TYPE itrim_g gauge\nitrim_g 1"),
+}
+
+
+def selftest():
+    failures = []
+    good_errors = lint(GOOD_FIXTURE, "good")
+    if good_errors:
+        failures.append(f"good fixture flagged: {good_errors}")
+    for label, fixture in BAD_FIXTURES.items():
+        if not lint(fixture, label):
+            failures.append(f"bad fixture {label!r} passed the lint")
+    if failures:
+        for failure in failures:
+            print(f"SELFTEST FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"promlint selftest ok ({1 + len(BAD_FIXTURES)} fixtures)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="exposition files to lint")
+    parser.add_argument("--selftest", action="store_true",
+                        help="lint the embedded fixtures and exit")
+    args = parser.parse_args()
+    if args.selftest:
+        return selftest()
+    if not args.files:
+        parser.error("no files given (or use --selftest)")
+    status = 0
+    for path in args.files:
+        try:
+            with open(path) as f:
+                text = f.read()
+        except OSError as err:
+            print(f"{path}: cannot read: {err.strerror or err}",
+                  file=sys.stderr)
+            status = 1
+            continue
+        errors = lint(text, path)
+        for error in errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        if errors:
+            status = 1
+        else:
+            print(f"{path}: clean ({len(text.splitlines())} lines)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
